@@ -1,0 +1,160 @@
+//! Performance benchmarks backing the paper's §5 overhead and scalability
+//! analysis:
+//!
+//! - rack-level budgeting "completes in ~10 ms" and room-level budgeting
+//!   for 500 racks in "well under 300 ms" — `gather_budget/*` measures the
+//!   full metrics-gather + budget-down pass at growing scale;
+//! - the per-server capping controller and demand estimator are in the
+//!   per-second path — `controller_step` and `estimator_*` measure them;
+//! - one Monte-Carlo capacity trial bounds the planner's cost —
+//!   `capacity_trial`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use capmaestro_core::capping::CappingController;
+use capmaestro_core::estimator::DemandEstimator;
+use capmaestro_core::policy::{GlobalPriority, LocalPriority, NoPriority, PolicyKind};
+use capmaestro_core::tree::{ControlTree, SupplyInput};
+use capmaestro_sim::capacity::{CapacityConfig, CapacityPlanner, Condition};
+use capmaestro_topology::{
+    ControlTreeSpec, FeedId, Phase, Priority, ServerId, SpecLeaf, SpecNode, SupplyIndex,
+};
+use capmaestro_units::{Ratio, Watts};
+
+/// Builds a synthetic control tree: root → `racks` rack nodes →
+/// `servers_per_rack` leaves each, with alternating priorities.
+fn synthetic_tree(racks: usize, servers_per_rack: usize) -> ControlTree {
+    let mut spec = ControlTreeSpec::new(FeedId::A, Phase::L1);
+    let root = spec.push_node(SpecNode {
+        name: "room".into(),
+        limit: Some(Watts::from_kilowatts(700.0)),
+        parent: None,
+        children: vec![],
+        leaf: None,
+    });
+    let mut server = 0u32;
+    for r in 0..racks {
+        let rack = spec.push_node(SpecNode {
+            name: format!("rack{r}"),
+            limit: Some(Watts::from_kilowatts(6.9)),
+            parent: Some(root),
+            children: vec![],
+            leaf: None,
+        });
+        spec.node_mut(root).children.push(rack);
+        for s in 0..servers_per_rack {
+            let leaf = spec.push_node(SpecNode {
+                name: format!("r{r}s{s}"),
+                limit: None,
+                parent: Some(rack),
+                children: vec![],
+                leaf: Some(SpecLeaf {
+                    server: ServerId(server),
+                    supply: SupplyIndex::FIRST,
+                    priority: if server % 10 < 3 {
+                        Priority::HIGH
+                    } else {
+                        Priority::LOW
+                    },
+                }),
+            });
+            spec.node_mut(rack).children.push(leaf);
+            server += 1;
+        }
+    }
+    ControlTree::with_uniform(
+        spec,
+        SupplyInput {
+            demand: Watts::new(430.0),
+            cap_min: Watts::new(270.0),
+            cap_max: Watts::new(490.0),
+            share: Ratio::ONE,
+        },
+    )
+}
+
+fn bench_gather_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_budget");
+    group.sample_size(10);
+    for racks in [1usize, 10, 100, 500] {
+        let tree = synthetic_tree(racks, 45);
+        let budget = Watts::from_kilowatts((racks * 14) as f64);
+        group.bench_with_input(
+            BenchmarkId::new("global_priority", racks * 45),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    black_box(tree.allocate(black_box(budget), &GlobalPriority::new()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_comparison");
+    let tree = synthetic_tree(45, 45); // ~2k servers, a large feed phase
+    let budget = Watts::from_kilowatts(600.0);
+    group.sample_size(20);
+    group.bench_function("no_priority", |b| {
+        b.iter(|| black_box(tree.allocate(budget, &NoPriority::new())))
+    });
+    group.bench_function("local_priority", |b| {
+        b.iter(|| black_box(tree.allocate(budget, &LocalPriority::new())))
+    });
+    group.bench_function("global_priority", |b| {
+        b.iter(|| black_box(tree.allocate(budget, &GlobalPriority::new())))
+    });
+    group.finish();
+}
+
+fn bench_controller_step(c: &mut Criterion) {
+    c.bench_function("controller_step", |b| {
+        let mut ctl =
+            CappingController::new(Watts::new(270.0), Watts::new(490.0), Ratio::new(0.94));
+        let budgets = [Watts::new(280.0), Watts::new(200.0)];
+        let measured = [Watts::new(250.0), Watts::new(230.0)];
+        b.iter(|| black_box(ctl.update(black_box(&budgets), black_box(&measured))))
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    c.bench_function("estimator_push_estimate", |b| {
+        let mut est = DemandEstimator::new();
+        let mut t = 0u32;
+        b.iter(|| {
+            let throttle = Ratio::new(0.1 + 0.4 * ((t % 16) as f64 / 16.0));
+            est.push(throttle, Watts::new(430.0 - 270.0 * throttle.as_f64()));
+            t += 1;
+            black_box(est.estimate())
+        })
+    });
+}
+
+fn bench_capacity_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity");
+    group.sample_size(10);
+    group.bench_function("worst_case_point_24pr", |b| {
+        let config = CapacityConfig {
+            worst_trials: 1,
+            ..CapacityConfig::default()
+        };
+        let planner = CapacityPlanner::new(config);
+        b.iter(|| {
+            black_box(planner.evaluate(24, PolicyKind::GlobalPriority, Condition::WorstCase))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gather_budget,
+    bench_policies,
+    bench_controller_step,
+    bench_estimator,
+    bench_capacity_trial
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation: why per-supply budget enforcement matters (§3.1).
+//!
+//! Compares CapMaestro's per-supply capping controller against the
+//! state-of-the-art baseline that enforces only a single combined budget
+//! (Intel Node Manager / prior data-center cappers \[5–8\]) on a server with
+//! the paper's worst measured load split (65/35). With equal per-supply
+//! budgets, the baseline lets the heavy supply — and therefore its feed —
+//! run far past its budget even though the total looks legal.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin ablation
+//! ```
+
+use capmaestro_bench::banner;
+use capmaestro_core::capping::{CappingController, CombinedBudgetController};
+use capmaestro_sim::report::Table;
+use capmaestro_server::{Server, ServerConfig};
+use capmaestro_units::{Seconds, Watts};
+
+struct Outcome {
+    ps1: f64,
+    ps2: f64,
+    total: f64,
+}
+
+fn run(split: f64, use_combined: bool) -> Outcome {
+    let budgets = [Watts::new(230.0), Watts::new(230.0)];
+    let mut server = Server::new(ServerConfig::paper_default().with_split(split));
+    server.set_offered_demand(Watts::new(460.0));
+    server.settle();
+    let model = server.config().model();
+    let k = server.config().efficiency();
+    let mut per_supply = CappingController::new(model.cap_min(), model.cap_max(), k);
+    let mut combined = CombinedBudgetController::new(model.cap_min(), model.cap_max(), k);
+
+    for _ in 0..15 {
+        let snap = server.sense();
+        let cap = if use_combined {
+            combined.update(budgets.iter().sum(), snap.total_ac)
+        } else {
+            per_supply.update(&budgets, &snap.supply_ac)
+        };
+        server.set_dc_cap(cap);
+        for _ in 0..8 {
+            server.step(Seconds::new(1.0));
+        }
+    }
+    let snap = server.sense();
+    Outcome {
+        ps1: snap.supply_ac[0].as_f64(),
+        ps2: snap.supply_ac[1].as_f64(),
+        total: snap.total_ac.as_f64(),
+    }
+}
+
+fn main() {
+    banner(
+        "Ablation (§3.1)",
+        "per-supply enforcement vs single combined budget, 230 W per supply, 460 W demand",
+    );
+    let mut table = Table::new(vec![
+        "Split",
+        "Controller",
+        "PS1 (W)",
+        "PS2 (W)",
+        "Total (W)",
+        "PS1 over budget?",
+    ]);
+    for split in [0.50, 0.57, 0.65] {
+        for (label, combined) in [("combined (baseline)", true), ("per-supply (ours)", false)] {
+            let o = run(split, combined);
+            table.row(vec![
+                format!("{:.0}/{:.0}", split * 100.0, (1.0 - split) * 100.0),
+                label.to_string(),
+                format!("{:.0}", o.ps1),
+                format!("{:.0}", o.ps2),
+                format!("{:.0}", o.total),
+                if o.ps1 > 230.0 * 1.02 {
+                    format!("YES (+{:.0}%)", (o.ps1 / 230.0 - 1.0) * 100.0)
+                } else {
+                    "no".into()
+                },
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("with an even split both controllers coincide; with the paper's 15%");
+    println!("mismatch (65/35) the combined baseline overloads PS1's feed by ~30%,");
+    println!("which is exactly the tripped-breaker hazard of §3.1.");
+}

@@ -1,0 +1,141 @@
+//! `dcsim` — a configurable data-center power-capping scenario runner.
+//!
+//! Not tied to a single paper figure: pick a center size, density, policy,
+//! utilization, and (optionally) a feed failure time, and watch the whole
+//! stack — estimation, priority-aware budgeting, SPO, per-supply capping,
+//! breaker thermal models — play out. The summary reports safety, the
+//! priority split, and energy.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin dcsim -- \
+//!     --racks 18 --spr 30 --util 1.0 --policy global --fail-feed-at 40 \
+//!     --seconds 300 [--spo] [--no-control] [--csv]
+//! ```
+
+use capmaestro_bench::{banner, Args};
+use capmaestro_core::policy::PolicyKind;
+use capmaestro_sim::engine::{Engine, EngineConfig, Event};
+use capmaestro_sim::report::{series_csv, Table};
+use capmaestro_sim::scenarios::{datacenter_rig, DataCenterRigConfig};
+use capmaestro_topology::presets::DataCenterParams;
+use capmaestro_topology::{FeedId, Priority};
+use capmaestro_units::Watts;
+
+fn main() {
+    let args = Args::capture();
+    let racks: usize = args.get("racks", 18);
+    let spr: usize = args.get("spr", 30);
+    let util: f64 = args.get("util", 0.9);
+    let seconds: u64 = args.get("seconds", 300);
+    let fail_at: u64 = args.get("fail-feed-at", 0);
+    let seed: u64 = args.get("seed", 1);
+    let policy = match args.get::<String>("policy", "global".into()).as_str() {
+        "none" => PolicyKind::NoPriority,
+        "local" => PolicyKind::LocalPriority,
+        _ => PolicyKind::GlobalPriority,
+    };
+
+    banner(
+        "dcsim",
+        "configurable closed-loop data-center power-capping scenario",
+    );
+
+    // Scale the distribution fan-out to the rack count (must multiply out).
+    let (rpp, cdus) = match racks {
+        18 => (3, 3),
+        54 => (3, 9),
+        162 => (9, 9),
+        other => {
+            eprintln!("supported rack counts: 18, 54, 162 (got {other})");
+            std::process::exit(2);
+        }
+    };
+    let config = DataCenterRigConfig {
+        params: DataCenterParams {
+            racks,
+            transformers_per_feed: 2,
+            rpps_per_transformer: rpp,
+            cdus_per_rpp: cdus,
+            servers_per_rack: spr,
+            ..DataCenterParams::default()
+        },
+        utilization: util,
+        policy,
+        spo: args.flag("spo"),
+        contractual_per_phase: Watts::from_kilowatts(700.0 * racks as f64 / 162.0) * 0.95,
+        seed,
+        ..DataCenterRigConfig::default()
+    };
+    let rig = datacenter_rig(&config);
+    let n = rig.farm.len();
+    println!(
+        "{n} servers, {racks} racks, {policy} policy, utilization {util:.2}, SPO {}",
+        if config.spo { "on" } else { "off" }
+    );
+
+    let mut engine = Engine::with_config(
+        rig,
+        EngineConfig {
+            control_enabled: !args.flag("no-control"),
+            ..EngineConfig::default()
+        },
+    );
+    if fail_at > 0 {
+        engine.schedule(fail_at, Event::FailFeed(FeedId::B));
+        println!("feed B fails at t={fail_at}s");
+    }
+    let trace = engine.run(seconds);
+
+    if args.flag("csv") {
+        // Total fleet power per second.
+        let mut total = vec![0.0f64; seconds as usize];
+        for series in trace.server_power.values() {
+            for (t, p) in series.iter().enumerate() {
+                total[t] += p;
+            }
+        }
+        print!("{}", series_csv("t", &[("total_power_w", &total)]));
+        return;
+    }
+
+    // Priority split at the end.
+    let mut buckets: Vec<(Priority, f64, usize)> = Vec::new();
+    for (id, info) in engine.topology().servers() {
+        let Some(server) = engine.server(id) else {
+            continue;
+        };
+        let perf = server.performance_fraction().as_f64();
+        match buckets.iter_mut().find(|(p, _, _)| *p == info.priority()) {
+            Some(b) => {
+                b.1 += perf;
+                b.2 += 1;
+            }
+            None => buckets.push((info.priority(), perf, 1)),
+        }
+    }
+    buckets.sort_by_key(|b| std::cmp::Reverse(b.0));
+    let mut table = Table::new(vec!["Priority", "Servers", "Mean performance"]);
+    for (priority, sum, count) in &buckets {
+        table.row(vec![
+            priority.to_string(),
+            count.to_string(),
+            format!("{:.3}", sum / *count as f64),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "breaker trips: {}; servers lost: {}; fleet energy: {:.1} kWh",
+        trace.trips.len(),
+        trace.lost_servers.len(),
+        trace.total_energy_wh() / 1000.0
+    );
+    if !trace.trips.is_empty() {
+        for (t, feed, name) in trace.trips.iter().take(5) {
+            println!("  trip at t={t}s: {name} on {feed}");
+        }
+        if trace.trips.len() > 5 {
+            println!("  … and {} more", trace.trips.len() - 5);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 10: average cap ratio vs. deployed servers during a worst-case
+//! power emergency — (a) all servers, (b) high-priority servers.
+//!
+//! Paper shape: all curves grow with server count; priority-aware policies
+//! hold high-priority cap ratios near zero much longer, and Global Priority
+//! longest (its high-priority curve lifts off only past ~5.8k servers).
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin fig10 [-- --worst-trials N]
+//! ```
+
+use capmaestro_bench::{banner, Args};
+use capmaestro_core::policy::PolicyKind;
+use capmaestro_sim::capacity::{CapacityConfig, CapacityPlanner, Condition};
+use capmaestro_sim::report::{series_csv, Table};
+
+fn main() {
+    let args = Args::capture();
+    banner(
+        "Figure 10",
+        "cap ratio vs server count under a worst-case emergency (one feed down, 100% load)",
+    );
+    let mut config = CapacityConfig::default();
+    config.worst_trials = args.get("worst-trials", 30);
+    config.seed = args.get("seed", config.seed);
+    let racks = config.dc.racks;
+    let planner = CapacityPlanner::new(config);
+
+    let sizes: Vec<usize> = (6..=45).step_by(3).collect();
+    let mut table_all = Table::new(vec![
+        "Servers", "No Priority", "Local Priority", "Global Priority",
+    ]);
+    let mut table_high = table_all.clone();
+
+    let mut columns: Vec<Vec<(f64, f64)>> = Vec::new();
+    for policy in PolicyKind::ALL {
+        let stats = planner.capacity_curve(policy, Condition::WorstCase, &sizes);
+        columns.push(
+            stats
+                .iter()
+                .map(|s| (s.cap_ratio_all, s.cap_ratio_high))
+                .collect(),
+        );
+    }
+    if args.flag("csv") {
+        let servers: Vec<f64> = sizes.iter().map(|&s| (s * racks) as f64).collect();
+        let cols: Vec<Vec<f64>> = (0..3)
+            .flat_map(|p| {
+                [
+                    columns[p].iter().map(|(a, _)| *a).collect::<Vec<f64>>(),
+                    columns[p].iter().map(|(_, h)| *h).collect::<Vec<f64>>(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            series_csv(
+                "idx",
+                &[
+                    ("servers", &servers),
+                    ("none_all", &cols[0]),
+                    ("none_high", &cols[1]),
+                    ("local_all", &cols[2]),
+                    ("local_high", &cols[3]),
+                    ("global_all", &cols[4]),
+                    ("global_high", &cols[5]),
+                ],
+            )
+        );
+        return;
+    }
+
+    for (i, &spr) in sizes.iter().enumerate() {
+        let servers = spr * racks;
+        table_all.row(vec![
+            servers.to_string(),
+            format!("{:.3}", columns[0][i].0),
+            format!("{:.3}", columns[1][i].0),
+            format!("{:.3}", columns[2][i].0),
+        ]);
+        table_high.row(vec![
+            servers.to_string(),
+            format!("{:.3}", columns[0][i].1),
+            format!("{:.3}", columns[1][i].1),
+            format!("{:.3}", columns[2][i].1),
+        ]);
+    }
+    println!("(a) average cap ratio, all servers");
+    print!("{}", table_all.render());
+    println!();
+    println!("(b) average cap ratio, high-priority servers");
+    print!("{}", table_high.render());
+}

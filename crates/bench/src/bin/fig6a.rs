@@ -1,0 +1,68 @@
+//! Figure 6a: normalized server throughput after capping, per policy.
+//!
+//! Paper values for SA: 0.82 (No Priority), 0.87 (Local), 1.00 (Global);
+//! the other servers land near Pcap_min's performance under Global.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin fig6a
+//! ```
+
+use capmaestro_bench::banner;
+use capmaestro_core::policy::PolicyKind;
+use capmaestro_sim::engine::Engine;
+use capmaestro_sim::report::Table;
+use capmaestro_sim::scenarios::{priority_rig, RigConfig};
+use capmaestro_topology::presets::RIG_SERVER_NAMES;
+use capmaestro_units::Ratio;
+use capmaestro_workload::WebServerModel;
+
+fn main() {
+    banner(
+        "Figure 6a",
+        "normalized throughput per policy on the Fig. 2 rig (Apache-like workload)",
+    );
+    // One web-serving model per server; peak throughput is arbitrary since
+    // the figure is normalized.
+    let apache = WebServerModel::new(1000.0, 5.0);
+
+    let mut table = Table::new(vec![
+        "Policy",
+        "SA",
+        "SB",
+        "SC",
+        "SD",
+        "SA latency",
+        "Paper SA",
+    ]);
+    let paper_sa = [0.82, 0.87, 1.00];
+    for (pi, policy) in PolicyKind::ALL.iter().enumerate() {
+        let rig = priority_rig(RigConfig::table2().with_policy(*policy));
+        let ids: Vec<_> = RIG_SERVER_NAMES.iter().map(|n| rig.server(n)).collect();
+        let mut engine = Engine::new(rig);
+        engine.run(150);
+        let mut cells = vec![policy.to_string()];
+        let mut sa_latency = String::new();
+        for (i, id) in ids.iter().enumerate() {
+            let perf = engine
+                .server(*id)
+                .expect("rig server")
+                .performance_fraction();
+            let wp = apache.at_performance(perf);
+            cells.push(format!("{:.2}", wp.normalized_throughput.as_f64()));
+            if i == 0 {
+                let inc = apache.latency_increase(perf);
+                sa_latency = if inc < 0.005 {
+                    "unchanged".into()
+                } else {
+                    format!("+{:.0}%", inc * 100.0)
+                };
+            }
+        }
+        cells.push(sa_latency);
+        cells.push(format!("{:.2}", paper_sa[pi]));
+        table.row(cells);
+    }
+    print!("{}", table.render());
+    println!("\n(throughput normalized to the uncapped server; SA is high priority)");
+    let _ = Ratio::ONE;
+}

@@ -1,0 +1,52 @@
+//! Figure 6b: power at the top/left/right circuit breakers under the
+//! Global Priority policy, over time.
+//!
+//! Paper shape: total power stays below the 1240 W top budget and the
+//! 750 W child limits throughout the run.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin fig6b [-- --csv]
+//! ```
+
+use capmaestro_bench::{banner, Args};
+use capmaestro_sim::engine::{Engine, Trace};
+use capmaestro_sim::report::{downsample, series_csv, sparkline};
+use capmaestro_sim::scenarios::{priority_rig, RigConfig};
+
+fn main() {
+    let args = Args::capture();
+    banner(
+        "Figure 6b",
+        "CB power under Global Priority on the Fig. 2 rig (limits: top 1240 W budget, children 750 W)",
+    );
+    let rig = priority_rig(RigConfig::table2());
+    let mut engine = Engine::new(rig);
+    let trace = engine.run(160);
+
+    let top = trace.node_series("Top CB").expect("top CB");
+    let left = trace.node_series("Left CB").expect("left CB");
+    let right = trace.node_series("Right CB").expect("right CB");
+
+    if args.flag("csv") {
+        print!(
+            "{}",
+            series_csv("t", &[("top", top), ("left", left), ("right", right)])
+        );
+        return;
+    }
+
+    println!("Top CB    {}", sparkline(&downsample(top, 4)));
+    println!("Left CB   {}", sparkline(&downsample(left, 4)));
+    println!("Right CB  {}", sparkline(&downsample(right, 4)));
+    println!();
+    println!(
+        "steady state: top {:.0} W (budget 1240), left {:.0} W / right {:.0} W (limit 750)",
+        Trace::tail_mean(top, 20),
+        Trace::tail_mean(left, 20),
+        Trace::tail_mean(right, 20),
+    );
+    let max_top = top.iter().cloned().fold(0.0, f64::max);
+    println!("peak top CB load: {max_top:.0} W");
+    assert!(trace.trips.is_empty(), "no breaker may trip");
+    println!("breaker trips: none (as required)");
+}

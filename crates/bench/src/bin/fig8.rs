@@ -1,0 +1,43 @@
+//! Figure 8: the distribution of fleet-average CPU utilization driving the
+//! typical-case capacity study.
+//!
+//! The paper uses a load profile from a Google data center \[27\]; we use a
+//! synthetic distribution with the same qualitative shape (unimodal, mode
+//! ≈25 %, thin tail above 50 %), calibrated so the typical-case capacity
+//! of Fig. 9 lands at the paper's 6318 servers. See EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin fig8
+//! ```
+
+use capmaestro_bench::banner;
+use capmaestro_workload::google_like_profile;
+
+fn main() {
+    banner(
+        "Figure 8",
+        "fleet-average CPU utilization distribution (synthetic Google-like profile)",
+    );
+    let d = google_like_profile();
+    println!("mean {:.3}, std {:.3}", d.mean(), d.std_dev());
+    println!(
+        "P(u > 0.35) = {:.3}, P(u > 0.5) = {:.4}, P(u > 0.7) = {:.5}",
+        d.prob_above(0.35),
+        d.prob_above(0.5),
+        d.prob_above(0.7)
+    );
+    println!();
+    println!("util   probability");
+    let max_p = d
+        .probabilities()
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    for (v, p) in d.values().iter().zip(d.probabilities()) {
+        if *p < 1e-6 {
+            continue;
+        }
+        let bar = "#".repeat(((p / max_p) * 50.0).round() as usize);
+        println!("{v:>5.3}  {p:>7.4} {bar}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 9: total servers deployable per policy, typical vs. worst case.
+//!
+//! Paper values (162 racks, 30 % high priority, <1 % avg cap ratio):
+//! no capping 3888; worst case — No Priority 3888, Local 4860, Global
+//! 5832; typical case — 6318 for all three policies.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin fig9 [-- --worst-trials N --reps N]
+//! ```
+
+use capmaestro_bench::{banner, Args};
+use capmaestro_core::policy::PolicyKind;
+use capmaestro_sim::capacity::{CapacityConfig, CapacityPlanner, Condition};
+use capmaestro_sim::report::Table;
+
+/// Servers deployable with no power management at all: each CDU phase must
+/// carry peak demand through a single feed (the paper's 8.4-servers
+/// arithmetic).
+fn no_capping_baseline(config: &CapacityConfig) -> usize {
+    let per_phase_budget =
+        config.contractual_per_phase * config.contractual_loading;
+    let per_cdu_phase = per_phase_budget / config.dc.racks as f64;
+    let per_rack_phase = (per_cdu_phase / config.model.cap_max()).floor() as usize;
+    config.dc.racks * per_rack_phase * 3
+}
+
+fn main() {
+    let args = Args::capture();
+    banner(
+        "Figure 9",
+        "maximum deployable servers per policy (30% high-priority, <1% avg cap ratio)",
+    );
+    let mut config = CapacityConfig::default();
+    config.worst_trials = args.get("worst-trials", config.worst_trials);
+    config.typical_reps_per_bin = args.get("reps", config.typical_reps_per_bin);
+    config.seed = args.get("seed", config.seed);
+    let planner = CapacityPlanner::new(config);
+
+    let baseline = no_capping_baseline(planner.config());
+    println!("no power capping baseline: {baseline} servers\n");
+
+    let mut table = Table::new(vec![
+        "Policy",
+        "Typical case",
+        "Worst case",
+        "Worst vs no-capping",
+        "Paper worst",
+    ]);
+    let paper_worst = ["3888", "4860", "5832"];
+    for (i, policy) in PolicyKind::ALL.iter().enumerate() {
+        let typical = planner.max_deployable(*policy, Condition::Typical);
+        let worst = planner.max_deployable(*policy, Condition::WorstCase);
+        table.row(vec![
+            policy.to_string(),
+            typical.to_string(),
+            worst.to_string(),
+            format!("{:+.0}%", (worst as f64 / baseline as f64 - 1.0) * 100.0),
+            paper_worst[i].to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\npaper typical case: 6318 for all policies");
+}

@@ -1,0 +1,105 @@
+//! Control-plane scale measurement (§5 overhead claims) with the real
+//! threaded rack/room worker deployment.
+//!
+//! The paper budgets ~10 ms for rack budgeting and <300 ms for a 500-rack
+//! room worker. This harness stands up the Table 4 data center (all six
+//! control trees, dual-corded servers) at several sizes and times complete
+//! control rounds through both the synchronous plane and the distributed
+//! deployment.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin scale [-- --workers N]
+//! ```
+
+use std::time::Instant;
+
+use capmaestro_bench::{banner, Args};
+use capmaestro_core::policy::PolicyKind;
+use capmaestro_core::workers::{shared_farm, WorkerDeployment};
+use capmaestro_sim::report::Table;
+use capmaestro_sim::scenarios::{datacenter_rig, DataCenterRigConfig};
+use capmaestro_topology::presets::DataCenterParams;
+use capmaestro_units::{Seconds, Watts};
+
+fn rounds_per_config(racks: usize, rpp: usize, cdus: usize, spr: usize, workers: usize) -> (usize, f64, f64) {
+    let config = DataCenterRigConfig {
+        params: DataCenterParams {
+            racks,
+            transformers_per_feed: 2,
+            rpps_per_transformer: rpp,
+            cdus_per_rpp: cdus,
+            servers_per_rack: spr,
+            ..DataCenterParams::default()
+        },
+        contractual_per_phase: Watts::from_kilowatts(700.0 * racks as f64 / 162.0) * 0.95,
+        utilization: 0.9,
+        ..DataCenterRigConfig::default()
+    };
+    let rig = datacenter_rig(&config);
+    let servers = rig.farm.len();
+
+    // Synchronous plane.
+    let mut farm = rig.farm;
+    let mut plane = rig.plane;
+    plane.record_sample(&farm);
+    let start = Instant::now();
+    const ROUNDS: u32 = 5;
+    for _ in 0..ROUNDS {
+        plane.run_round(&mut farm);
+        farm.step_all(Seconds::new(1.0));
+        plane.record_sample(&farm);
+    }
+    let sync_ms = start.elapsed().as_secs_f64() * 1000.0 / ROUNDS as f64;
+
+    // Distributed deployment over the same trees.
+    let trees = plane.trees().to_vec();
+    let budgets = vec![
+        Watts::from_kilowatts(700.0 * racks as f64 / 162.0) * 0.95 / 2.0;
+        trees.len()
+    ];
+    let shared = shared_farm(farm);
+    let mut deployment = WorkerDeployment::spawn(
+        trees,
+        budgets,
+        PolicyKind::GlobalPriority,
+        shared,
+        workers,
+    );
+    deployment.run_round(0); // warm caches
+    let start = Instant::now();
+    for round in 1..=ROUNDS as u64 {
+        deployment.run_round(round);
+    }
+    let dist_ms = start.elapsed().as_secs_f64() * 1000.0 / ROUNDS as f64;
+    deployment.shutdown();
+    (servers, sync_ms, dist_ms)
+}
+
+fn main() {
+    let args = Args::capture();
+    let workers: usize = args.get("workers", 4);
+    banner(
+        "Scale (§5)",
+        "full control-round wall time, synchronous plane vs threaded rack/room workers",
+    );
+    let mut table = Table::new(vec![
+        "Racks",
+        "Servers",
+        "Sync round (ms)",
+        "Distributed round (ms)",
+    ]);
+    for (racks, rpp, cdus, spr) in [(18, 3, 3, 12), (54, 3, 9, 12), (162, 9, 9, 12), (162, 9, 9, 45)] {
+        let (servers, sync_ms, dist_ms) = rounds_per_config(racks, rpp, cdus, spr, workers);
+        table.row(vec![
+            racks.to_string(),
+            servers.to_string(),
+            format!("{sync_ms:.1}"),
+            format!("{dist_ms:.1}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("paper budget: rack worker ~10 ms budgeting, room worker <300 ms at 500 racks.");
+    println!("({workers} rack-worker threads; the distributed figure includes sensing,");
+    println!("estimation, metrics, budgeting, and cap enforcement end to end.)");
+}

@@ -1,0 +1,114 @@
+//! Sensitivity studies (the paper's §6.4 closing paragraph; details in its
+//! technical report \[41\]): how the worst-case capacity of each policy
+//! responds to (1) the fraction of high-priority servers, (2) `Pcap_min`,
+//! and (3) the contractual budget. Includes an SPO on/off ablation on the
+//! stranded-power rig.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin sensitivity [-- --worst-trials N]
+//! ```
+
+use capmaestro_bench::{banner, Args};
+use capmaestro_core::policy::PolicyKind;
+use capmaestro_sim::capacity::{CapacityConfig, CapacityPlanner, Condition};
+use capmaestro_sim::engine::Engine;
+use capmaestro_sim::report::Table;
+use capmaestro_sim::scenarios::{stranded_rig, RigConfig};
+use capmaestro_server::ServerPowerModel;
+use capmaestro_units::Watts;
+
+fn worst_counts(config: CapacityConfig) -> [usize; 3] {
+    let planner = CapacityPlanner::new(config);
+    let mut out = [0usize; 3];
+    for (i, policy) in PolicyKind::ALL.iter().enumerate() {
+        out[i] = planner.max_deployable(*policy, Condition::WorstCase);
+    }
+    out
+}
+
+fn main() {
+    let args = Args::capture();
+    banner(
+        "Sensitivity",
+        "worst-case capacity vs high-priority share, Pcap_min, and contractual budget",
+    );
+    let trials: usize = args.get("worst-trials", 20);
+
+    // (1) High-priority fraction.
+    println!("(1) high-priority fraction (paper default 30%)");
+    let mut t = Table::new(vec!["High-pri %", "No Priority", "Local", "Global"]);
+    for frac in [0.1, 0.3, 0.5, 0.7] {
+        let config = CapacityConfig {
+            high_priority_fraction: frac,
+            worst_trials: trials,
+            ..CapacityConfig::default()
+        };
+        let c = worst_counts(config);
+        t.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            c[0].to_string(),
+            c[1].to_string(),
+            c[2].to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(fewer high-priority servers ⇒ more low-priority headroom ⇒ larger global capacity)\n");
+
+    // (2) Pcap_min.
+    println!("(2) Pcap_min (paper default 270 W)");
+    let mut t = Table::new(vec!["Pcap_min", "No Priority", "Local", "Global"]);
+    for cap_min in [230.0, 270.0, 310.0] {
+        let config = CapacityConfig {
+            model: ServerPowerModel::new(
+                Watts::new(160.0),
+                Watts::new(cap_min),
+                Watts::new(490.0),
+            ),
+            worst_trials: trials,
+            ..CapacityConfig::default()
+        };
+        let c = worst_counts(config);
+        t.row(vec![
+            format!("{cap_min:.0} W"),
+            c[0].to_string(),
+            c[1].to_string(),
+            c[2].to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(a deeper throttling range lets low-priority servers yield more power)\n");
+
+    // (3) Contractual budget.
+    println!("(3) contractual budget per phase (paper default 700 kW)");
+    let mut t = Table::new(vec!["Budget", "No Priority", "Local", "Global"]);
+    for kw in [600.0, 700.0, 800.0] {
+        let config = CapacityConfig {
+            contractual_per_phase: Watts::from_kilowatts(kw),
+            worst_trials: trials,
+            ..CapacityConfig::default()
+        };
+        let c = worst_counts(config);
+        t.row(vec![
+            format!("{kw:.0} kW"),
+            c[0].to_string(),
+            c[1].to_string(),
+            c[2].to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+
+    // (4) SPO ablation on the stranded-power rig.
+    println!("(4) SPO ablation: Y-side feed utilization on the Fig. 7a rig");
+    for (label, spo) in [("without SPO", false), ("with SPO", true)] {
+        let rig = stranded_rig(RigConfig::table3().with_spo(spo));
+        let sb = rig.server("SB");
+        let mut engine = Engine::new(rig);
+        engine.run(150);
+        let sb_perf = engine
+            .server(sb)
+            .expect("rig server")
+            .performance_fraction();
+        println!("  {label}: SB performance fraction {sb_perf}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Table 1: power budgets under local vs. global priority on the Fig. 2
+//! feed (the paper's motivating example).
+//!
+//! Paper values: with local priority SA/SB/SC/SD = 350/270/310/310 W;
+//! with global priority 430/270/270/270 W.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin table1
+//! ```
+
+use capmaestro_bench::banner;
+use capmaestro_core::policy::{CappingPolicy, GlobalPriority, LocalPriority};
+use capmaestro_core::tree::{ControlTree, SupplyInput};
+use capmaestro_sim::report::Table;
+use capmaestro_topology::presets::{figure2_feed, RIG_SERVER_NAMES};
+use capmaestro_topology::SupplyIndex;
+use capmaestro_units::{Ratio, Watts};
+
+fn main() {
+    banner(
+        "Table 1",
+        "local vs global priority budgets: 4 servers x 430 W demand, 1240 W budget, SA high priority",
+    );
+    let topo = figure2_feed();
+    let spec = topo.control_tree_specs().remove(0);
+    let tree = ControlTree::with_uniform(
+        spec,
+        SupplyInput {
+            demand: Watts::new(430.0),
+            cap_min: Watts::new(270.0),
+            cap_max: Watts::new(490.0),
+            share: Ratio::ONE,
+        },
+    );
+
+    let mut table = Table::new(vec![
+        "Server",
+        "Priority",
+        "Demand (W)",
+        "Local Priority (W)",
+        "Global Priority (W)",
+        "Paper local",
+        "Paper global",
+    ]);
+    let local = tree.allocate(Watts::new(1240.0), &LocalPriority::new());
+    let global = tree.allocate(Watts::new(1240.0), &GlobalPriority::new());
+    let paper_local = [350.0, 270.0, 310.0, 310.0];
+    let paper_global = [430.0, 270.0, 270.0, 270.0];
+    for (i, name) in RIG_SERVER_NAMES.iter().enumerate() {
+        let id = topo.server_by_name(name).expect("preset server");
+        let l = local.supply_budget(id, SupplyIndex::FIRST).unwrap();
+        let g = global.supply_budget(id, SupplyIndex::FIRST).unwrap();
+        table.row(vec![
+            (*name).to_string(),
+            if i == 0 { "H".into() } else { "L".into() },
+            "430".into(),
+            format!("{:.0}", l.as_f64()),
+            format!("{:.0}", g.as_f64()),
+            format!("{:.0}", paper_local[i]),
+            format!("{:.0}", paper_global[i]),
+        ]);
+    }
+    print!("{}", table.render());
+    let _ = GlobalPriority::new().name();
+}

@@ -1,0 +1,68 @@
+//! Table 2: server power budgets assigned by each capping policy on the
+//! real four-server rig (§6.2).
+//!
+//! Paper values (demands 420/413/417/423 W, budget 1240 W):
+//! No Priority 314/306/311/316; Local 344/274/314/317;
+//! Global 419/276/275/275.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin table2
+//! ```
+
+use capmaestro_bench::banner;
+use capmaestro_core::policy::PolicyKind;
+use capmaestro_sim::engine::Engine;
+use capmaestro_sim::report::Table;
+use capmaestro_sim::scenarios::{priority_rig, RigConfig};
+use capmaestro_topology::presets::RIG_SERVER_NAMES;
+use capmaestro_topology::SupplyIndex;
+
+fn main() {
+    banner(
+        "Table 2",
+        "steady-state budgets per policy on the Fig. 2 rig (demands 420/413/417/423 W, 1240 W budget)",
+    );
+
+    let mut rows: Vec<[f64; 4]> = Vec::new();
+    for policy in PolicyKind::ALL {
+        let rig = priority_rig(RigConfig::table2().with_policy(policy));
+        let ids: Vec<_> = RIG_SERVER_NAMES.iter().map(|n| rig.server(n)).collect();
+        let mut engine = Engine::new(rig);
+        // Let the loop converge (the paper reports steady-state numbers),
+        // then read one more allocation round.
+        engine.run(120);
+        let report = engine.run_control_round();
+        let mut budgets = [0.0f64; 4];
+        for (i, id) in ids.iter().enumerate() {
+            budgets[i] = report
+                .supply_budget(*id, SupplyIndex::FIRST)
+                .map(|w| w.as_f64())
+                .unwrap_or(f64::NAN);
+        }
+        rows.push(budgets);
+    }
+
+    let paper = [
+        [314.0, 306.0, 311.0, 316.0],
+        [344.0, 274.0, 314.0, 317.0],
+        [419.0, 276.0, 275.0, 275.0],
+    ];
+    let mut table = Table::new(vec![
+        "Policy", "SA (W)", "SB (W)", "SC (W)", "SD (W)", "Paper (SA/SB/SC/SD)",
+    ]);
+    for (i, policy) in PolicyKind::ALL.iter().enumerate() {
+        table.row(vec![
+            policy.to_string(),
+            format!("{:.0}", rows[i][0]),
+            format!("{:.0}", rows[i][1]),
+            format!("{:.0}", rows[i][2]),
+            format!("{:.0}", rows[i][3]),
+            format!(
+                "{:.0}/{:.0}/{:.0}/{:.0}",
+                paper[i][0], paper[i][1], paper[i][2], paper[i][3]
+            ),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\n(SA is high priority; the other three are low priority)");
+}

@@ -1,0 +1,317 @@
+//! Power-demand estimation by throttle/power regression (paper §5).
+//!
+//! A capped server's measured power understates what its workload *wants*.
+//! CapMaestro estimates the uncapped demand by regressing per-second
+//! `(throttle level, power)` samples over a sliding 16-sample window:
+//! the regression intercept is the power at 0 % throttling. When samples at
+//! 0 % throttle exist in the window, their measured power is used directly.
+
+use std::collections::VecDeque;
+
+use capmaestro_units::{Ratio, Watts};
+
+/// Number of per-second samples in the paper's regression window.
+pub const DEFAULT_WINDOW: usize = 16;
+
+/// Throttle levels at or below this are treated as "not throttled".
+const ZERO_THROTTLE_EPS: f64 = 1e-3;
+
+/// Minimum throttle variance for a meaningful regression slope.
+const MIN_VARIANCE: f64 = 1e-6;
+
+/// Sliding-window demand estimator for one server.
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_core::estimator::DemandEstimator;
+/// use capmaestro_units::{Ratio, Watts};
+///
+/// let mut est = DemandEstimator::new();
+/// // A server throttled to varying degrees; true demand is 430 W with
+/// // dynamic range 270 (idle 160): power = 430 − 270 × throttle.
+/// for t in [0.2, 0.3, 0.4, 0.25] {
+///     est.push(Ratio::new(t), Watts::new(430.0 - 270.0 * t));
+/// }
+/// let demand = est.estimate().unwrap();
+/// assert!((demand.as_f64() - 430.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DemandEstimator {
+    window: VecDeque<(f64, Watts)>,
+    capacity: usize,
+}
+
+impl DemandEstimator {
+    /// Creates an estimator with the paper's 16-sample window.
+    pub fn new() -> Self {
+        DemandEstimator::with_window(DEFAULT_WINDOW)
+    }
+
+    /// Creates an estimator with a custom window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` (regression needs at least two samples).
+    pub fn with_window(capacity: usize) -> Self {
+        assert!(capacity >= 2, "regression window needs at least 2 samples");
+        DemandEstimator {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records one per-second sample of (throttle level, measured power).
+    pub fn push(&mut self, throttle: Ratio, power: Watts) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window
+            .push_back((throttle.clamp_fraction().as_f64(), power));
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Clears the window (e.g. after a workload change detection).
+    pub fn clear(&mut self) {
+        self.window.clear();
+    }
+
+    /// Estimates the uncapped power demand.
+    ///
+    /// Preference order (per §5):
+    ///
+    /// 1. mean measured power over zero-throttle samples, when any exist;
+    /// 2. the intercept of an ordinary-least-squares fit of power against
+    ///    throttle, clamped to at least the highest power observed
+    ///    (demand can never be below a measured, throttled power);
+    /// 3. `None` when the window is empty or the regression is degenerate
+    ///    (constant non-zero throttle) — callers should fall back to the
+    ///    last measured power.
+    pub fn estimate(&self) -> Option<Watts> {
+        if self.window.is_empty() {
+            return None;
+        }
+        // Case 1: unthrottled samples measure demand directly.
+        let zero: Vec<Watts> = self
+            .window
+            .iter()
+            .filter(|(t, _)| *t <= ZERO_THROTTLE_EPS)
+            .map(|(_, p)| *p)
+            .collect();
+        if !zero.is_empty() {
+            let sum: Watts = zero.iter().sum();
+            return Some(sum / zero.len() as f64);
+        }
+        // Case 2: OLS intercept at throttle = 0.
+        let n = self.window.len() as f64;
+        if self.window.len() < 2 {
+            return None;
+        }
+        let mean_t: f64 = self.window.iter().map(|(t, _)| t).sum::<f64>() / n;
+        let mean_p: f64 = self.window.iter().map(|(_, p)| p.as_f64()).sum::<f64>() / n;
+        let var_t: f64 = self
+            .window
+            .iter()
+            .map(|(t, _)| (t - mean_t) * (t - mean_t))
+            .sum::<f64>()
+            / n;
+        if var_t < MIN_VARIANCE {
+            return None;
+        }
+        let cov: f64 = self
+            .window
+            .iter()
+            .map(|(t, p)| (t - mean_t) * (p.as_f64() - mean_p))
+            .sum::<f64>()
+            / n;
+        let slope = cov / var_t;
+        let intercept = mean_p - slope * mean_t;
+        let max_measured = self
+            .window
+            .iter()
+            .map(|(_, p)| *p)
+            .max_by(Watts::total_cmp)
+            .expect("non-empty window");
+        Some(Watts::new(intercept).max(max_measured))
+    }
+
+    /// [`DemandEstimator::estimate`] with a fallback to the most recent
+    /// measured power when the estimate is unavailable.
+    pub fn estimate_or_last(&self) -> Option<Watts> {
+        self.estimate()
+            .or_else(|| self.window.back().map(|(_, p)| *p))
+    }
+
+    /// Like [`DemandEstimator::estimate`], but when the regression is
+    /// degenerate (constant non-zero throttle — a server pinned at a steady
+    /// cap) falls back to single-point inversion using the server's known
+    /// idle power: `demand = idle + (power − idle) / (1 − throttle)`.
+    ///
+    /// Without this fallback a steadily-capped server's demand estimate
+    /// collapses to its capped power and can never recover when budget
+    /// frees up elsewhere.
+    pub fn estimate_with_idle(&self, idle: Watts) -> Option<Watts> {
+        if let Some(e) = self.estimate() {
+            return Some(e);
+        }
+        let &(t, p) = self.window.back()?;
+        if t >= 1.0 - 1e-9 {
+            return Some(p);
+        }
+        let dynamic = (p - idle).clamp_non_negative();
+        Some(idle + dynamic / (1.0 - t))
+    }
+}
+
+impl Default for DemandEstimator {
+    fn default() -> Self {
+        DemandEstimator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_estimates_nothing() {
+        let est = DemandEstimator::new();
+        assert_eq!(est.estimate(), None);
+        assert_eq!(est.estimate_or_last(), None);
+        assert!(est.is_empty());
+    }
+
+    #[test]
+    fn zero_throttle_samples_win() {
+        let mut est = DemandEstimator::new();
+        est.push(Ratio::new(0.3), Watts::new(300.0));
+        est.push(Ratio::ZERO, Watts::new(425.0));
+        est.push(Ratio::ZERO, Watts::new(435.0));
+        // Mean of the two unthrottled readings.
+        assert_eq!(est.estimate(), Some(Watts::new(430.0)));
+    }
+
+    #[test]
+    fn regression_recovers_linear_demand() {
+        let mut est = DemandEstimator::new();
+        // power = demand − dyn × t with demand 430, dyn 270.
+        for t in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            est.push(Ratio::new(t), Watts::new(430.0 - 270.0 * t));
+        }
+        let d = est.estimate().unwrap();
+        assert!((d.as_f64() - 430.0).abs() < 1e-6, "estimated {d}");
+    }
+
+    #[test]
+    fn constant_throttle_is_degenerate() {
+        let mut est = DemandEstimator::new();
+        for _ in 0..5 {
+            est.push(Ratio::new(0.4), Watts::new(322.0));
+        }
+        assert_eq!(est.estimate(), None);
+        // Fallback returns the last measurement.
+        assert_eq!(est.estimate_or_last(), Some(Watts::new(322.0)));
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut est = DemandEstimator::with_window(4);
+        // Old demand 430; then workload drops to demand 300 (dyn 140).
+        for t in [0.1, 0.2, 0.3, 0.4] {
+            est.push(Ratio::new(t), Watts::new(430.0 - 270.0 * t));
+        }
+        for t in [0.1, 0.2, 0.3, 0.4] {
+            est.push(Ratio::new(t), Watts::new(300.0 - 140.0 * t));
+        }
+        let d = est.estimate().unwrap();
+        assert!((d.as_f64() - 300.0).abs() < 1e-6, "estimated {d}");
+        assert_eq!(est.len(), 4);
+    }
+
+    #[test]
+    fn intercept_clamped_to_max_measurement() {
+        let mut est = DemandEstimator::new();
+        // Noisy positive-slope data would regress to an intercept below
+        // the measurements; the estimate must not.
+        est.push(Ratio::new(0.1), Watts::new(300.0));
+        est.push(Ratio::new(0.5), Watts::new(380.0));
+        let d = est.estimate().unwrap();
+        assert!(d >= Watts::new(380.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut est = DemandEstimator::new();
+        est.push(Ratio::new(0.2), Watts::new(400.0));
+        est.clear();
+        assert!(est.is_empty());
+        assert_eq!(est.estimate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_window_rejected() {
+        let _ = DemandEstimator::with_window(1);
+    }
+
+    #[test]
+    fn idle_fallback_inverts_constant_throttle() {
+        let mut est = DemandEstimator::new();
+        // Pinned at 50 % throttle with power 295 W; idle 160 W ⇒
+        // demand = 160 + 135 / 0.5 = 430 W.
+        for _ in 0..5 {
+            est.push(Ratio::new(0.5), Watts::new(295.0));
+        }
+        assert_eq!(est.estimate(), None);
+        let d = est.estimate_with_idle(Watts::new(160.0)).unwrap();
+        assert!((d.as_f64() - 430.0).abs() < 1e-9, "estimated {d}");
+    }
+
+    #[test]
+    fn idle_fallback_prefers_regression_when_available() {
+        let mut est = DemandEstimator::new();
+        for t in [0.1, 0.2, 0.3] {
+            est.push(Ratio::new(t), Watts::new(430.0 - 270.0 * t));
+        }
+        // Regression already answers; idle value is ignored.
+        let d = est.estimate_with_idle(Watts::new(999.0)).unwrap();
+        assert!((d.as_f64() - 430.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_fallback_full_throttle_returns_power() {
+        let mut est = DemandEstimator::new();
+        est.push(Ratio::ONE, Watts::new(270.0));
+        assert_eq!(
+            est.estimate_with_idle(Watts::new(160.0)),
+            Some(Watts::new(270.0))
+        );
+    }
+
+    #[test]
+    fn noisy_regression_stays_close() {
+        let mut est = DemandEstimator::new();
+        // ±2 W measurement noise.
+        let noise = [1.5, -2.0, 0.5, -1.0, 2.0, -0.5, 1.0, -1.5];
+        for (i, t) in [0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45]
+            .iter()
+            .enumerate()
+        {
+            est.push(
+                Ratio::new(*t),
+                Watts::new(430.0 - 270.0 * t + noise[i]),
+            );
+        }
+        let d = est.estimate().unwrap();
+        assert!((d.as_f64() - 430.0).abs() < 10.0, "estimated {d}");
+    }
+}

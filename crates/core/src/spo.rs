@@ -1,0 +1,497 @@
+//! Stranded-power optimization (paper §4.4).
+//!
+//! A server does not split load evenly across its supplies, so the budgets
+//! two independent feed trees assign to the same server rarely match its
+//! intrinsic split: the server's consumption is pinned by its most
+//! constrained supply, leaving part of the other supply's budget *stranded*.
+//!
+//! SPO runs after the priority-aware allocation: it computes how much each
+//! supply can actually use given every supply's budget and the split ratio,
+//! shrinks stranded budgets to their usable amount, and re-runs the
+//! allocation so the freed power reaches servers that were capped.
+
+use std::collections::HashMap;
+
+use capmaestro_topology::{ServerId, SupplyIndex};
+use capmaestro_units::Watts;
+
+use crate::policy::CappingPolicy;
+use crate::tree::{Allocation, ControlTree, SupplyInput};
+
+/// Stranded power below this threshold is ignored (measurement noise in a
+/// real deployment; numerical noise here).
+pub const STRAND_EPSILON: Watts = Watts::new(0.5);
+
+/// Result of a stranded-power optimization round.
+#[derive(Debug, Clone)]
+pub struct SpoOutcome {
+    /// First-pass allocations, one per tree (before SPO).
+    pub first: Vec<Allocation>,
+    /// Second-pass allocations after stranded budgets were reclaimed.
+    pub second: Vec<Allocation>,
+    /// Stranded power found per supply in the first pass.
+    pub stranded: HashMap<(ServerId, SupplyIndex), Watts>,
+}
+
+impl SpoOutcome {
+    /// Total stranded power detected in the first pass.
+    pub fn total_stranded(&self) -> Watts {
+        self.stranded.values().sum()
+    }
+
+    /// Final (post-SPO) budget for a supply, searching all trees.
+    pub fn final_supply_budget(
+        &self,
+        server: ServerId,
+        supply: SupplyIndex,
+    ) -> Option<Watts> {
+        self.second
+            .iter()
+            .find_map(|a| a.supply_budget(server, supply))
+    }
+
+    /// First-pass (pre-SPO) budget for a supply.
+    pub fn initial_supply_budget(
+        &self,
+        server: ServerId,
+        supply: SupplyIndex,
+    ) -> Option<Watts> {
+        self.first
+            .iter()
+            .find_map(|a| a.supply_budget(server, supply))
+    }
+}
+
+/// Per-server view assembled across trees: supplies with their shares,
+/// budgets, and the server's demand/cap_min.
+#[derive(Debug, Clone)]
+struct ServerView {
+    demand: Watts,
+    cap_min: Watts,
+    /// `(tree index, server, supply, share, budget)`.
+    supplies: Vec<(usize, SupplyIndex, f64, Watts)>,
+}
+
+fn collect_server_views(
+    trees: &[ControlTree],
+    allocations: &[Allocation],
+) -> HashMap<ServerId, ServerView> {
+    let mut views: HashMap<ServerId, ServerView> = HashMap::new();
+    for (t, (tree, alloc)) in trees.iter().zip(allocations).enumerate() {
+        for idx in 0..tree.spec().len() {
+            let Some(leaf) = tree.spec().node(idx).leaf else {
+                continue;
+            };
+            let Some(input) = tree.input_at(idx) else {
+                continue;
+            };
+            let budget = alloc
+                .supply_budget(leaf.server, leaf.supply)
+                .unwrap_or(Watts::ZERO);
+            let view = views.entry(leaf.server).or_insert_with(|| ServerView {
+                demand: Watts::ZERO,
+                cap_min: Watts::ZERO,
+                supplies: Vec::new(),
+            });
+            view.demand = view.demand.max(input.demand);
+            view.cap_min = view.cap_min.max(input.cap_min);
+            view.supplies
+                .push((t, leaf.supply, input.share.as_f64(), budget));
+        }
+    }
+    views
+}
+
+/// The AC power a server will actually draw given its per-supply budgets:
+/// its demand, clamped by the most constrained supply (budget ÷ share).
+fn achievable_consumption(view: &ServerView) -> Watts {
+    let mut limit = f64::INFINITY;
+    for &(_, _, share, budget) in &view.supplies {
+        if share > 0.0 {
+            limit = limit.min(budget.as_f64() / share);
+        }
+    }
+    let demand = view.demand.max(view.cap_min);
+    if limit.is_finite() {
+        demand.min(Watts::new(limit))
+    } else {
+        demand
+    }
+}
+
+/// Runs the global priority-aware allocation on each tree, detects stranded
+/// per-supply budget, shrinks it, and re-runs the allocation (paper §4.4).
+///
+/// `trees` and `root_budgets` are parallel: tree `i` allocates
+/// `root_budgets[i]`. All trees must cover the same control period — in a
+/// redundant data center they are the per-feed trees of one phase.
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_core::policy::GlobalPriority;
+/// use capmaestro_core::spo::optimize_stranded_power;
+/// use capmaestro_core::tree::{ControlTree, SupplyInput};
+/// use capmaestro_topology::presets::figure7a_rig;
+/// use capmaestro_units::{Ratio, Watts};
+///
+/// let topo = figure7a_rig();
+/// let mut trees: Vec<ControlTree> = topo
+///     .control_tree_specs()
+///     .into_iter()
+///     .map(ControlTree::new)
+///     .collect();
+/// for tree in &mut trees {
+///     // Dual-corded servers with a 60/40 split; single-corded at 1.0.
+///     tree.set_inputs_with(|server, supply| SupplyInput {
+///         demand: Watts::new(430.0),
+///         cap_min: Watts::new(270.0),
+///         cap_max: Watts::new(490.0),
+///         share: if topo.supply_count(server) == 1 {
+///             Ratio::ONE
+///         } else if supply.index() == 0 {
+///             Ratio::new(0.6)
+///         } else {
+///             Ratio::new(0.4)
+///         },
+///     });
+/// }
+/// let outcome = optimize_stranded_power(
+///     &trees,
+///     &[Watts::new(700.0), Watts::new(700.0)],
+///     &GlobalPriority::new(),
+/// );
+/// // The split mismatch strands power on the first pass…
+/// assert!(outcome.total_stranded() > Watts::ZERO);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn optimize_stranded_power(
+    trees: &[ControlTree],
+    root_budgets: &[Watts],
+    policy: &dyn CappingPolicy,
+) -> SpoOutcome {
+    assert_eq!(
+        trees.len(),
+        root_budgets.len(),
+        "one root budget per tree is required"
+    );
+
+    // Pass 1: plain allocation.
+    let first: Vec<Allocation> = trees
+        .iter()
+        .zip(root_budgets)
+        .map(|(t, &b)| t.allocate(b, policy))
+        .collect();
+
+    // Detect stranded budget per supply.
+    let views = collect_server_views(trees, &first);
+    let mut stranded: HashMap<(ServerId, SupplyIndex), Watts> = HashMap::new();
+    let mut adjusted: HashMap<(ServerId, SupplyIndex), Watts> = HashMap::new();
+    for (&server, view) in &views {
+        let actual = achievable_consumption(view);
+        for &(_, supply, share, budget) in &view.supplies {
+            let usable = actual * share;
+            let strand = budget.saturating_sub(usable);
+            if strand > STRAND_EPSILON {
+                stranded.insert((server, supply), strand);
+                adjusted.insert((server, supply), actual);
+            }
+        }
+    }
+
+    // Pass 2: shrink stranded supplies' demand/constraint to what they can
+    // use, then re-allocate so the freed power moves elsewhere on the feed.
+    let mut trees2: Vec<ControlTree> = trees.to_vec();
+    for tree in &mut trees2 {
+        let spec_len = tree.spec().len();
+        for idx in 0..spec_len {
+            let Some(leaf) = tree.spec().node(idx).leaf else {
+                continue;
+            };
+            let Some(&actual) = adjusted.get(&(leaf.server, leaf.supply)) else {
+                continue;
+            };
+            let Some(&input) = tree.input_at(idx) else {
+                continue;
+            };
+            let new_input = SupplyInput {
+                demand: actual,
+                cap_max: actual.max(input.cap_min),
+                ..input
+            };
+            tree.set_supply_input(leaf.server, leaf.supply, new_input);
+        }
+    }
+    let second: Vec<Allocation> = trees2
+        .iter()
+        .zip(root_budgets)
+        .map(|(t, &b)| t.allocate(b, policy))
+        .collect();
+
+    SpoOutcome {
+        first,
+        second,
+        stranded,
+    }
+}
+
+/// Iterates [`optimize_stranded_power`] until no further stranded power is
+/// found (or `max_rounds` is hit) — an extension beyond the paper, which
+/// runs the optimization exactly once per control period. Re-budgeting can
+/// strand *new* power (a supply that gained budget may now be limited by
+/// its sibling), so a fixpoint can recover slightly more than one pass.
+///
+/// Returns the outcome of the final round plus the number of rounds run.
+///
+/// # Panics
+///
+/// Panics if `max_rounds` is zero or the slices have different lengths.
+pub fn optimize_stranded_power_iterated(
+    trees: &[ControlTree],
+    root_budgets: &[Watts],
+    policy: &dyn crate::policy::CappingPolicy,
+    max_rounds: usize,
+) -> (SpoOutcome, usize) {
+    assert!(max_rounds > 0, "at least one SPO round is required");
+    let mut current: Vec<ControlTree> = trees.to_vec();
+    let mut rounds = 0;
+    loop {
+        let outcome = optimize_stranded_power(&current, root_budgets, policy);
+        rounds += 1;
+        if outcome.total_stranded() <= STRAND_EPSILON || rounds >= max_rounds {
+            return (outcome, rounds);
+        }
+        // Carry the shrunken inputs forward: rebuild the trees with the
+        // adjusted demands/constraints by re-running the adjustment the
+        // same way optimize_stranded_power did internally.
+        let views = collect_server_views(&current, &outcome.first);
+        let mut adjusted = std::collections::HashMap::new();
+        for (&server, view) in &views {
+            let actual = achievable_consumption(view);
+            for &(_, supply, share, budget) in &view.supplies {
+                let usable = actual * share;
+                if budget.saturating_sub(usable) > STRAND_EPSILON {
+                    adjusted.insert((server, supply), actual);
+                }
+            }
+        }
+        for tree in &mut current {
+            let spec_len = tree.spec().len();
+            for idx in 0..spec_len {
+                let Some(leaf) = tree.spec().node(idx).leaf else {
+                    continue;
+                };
+                let Some(&actual) = adjusted.get(&(leaf.server, leaf.supply)) else {
+                    continue;
+                };
+                let Some(&input) = tree.input_at(idx) else {
+                    continue;
+                };
+                tree.set_supply_input(
+                    leaf.server,
+                    leaf.supply,
+                    crate::tree::SupplyInput {
+                        demand: actual,
+                        cap_max: actual.max(input.cap_min),
+                        ..input
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::GlobalPriority;
+    use capmaestro_topology::presets::figure7a_rig;
+    use capmaestro_topology::Topology;
+    use capmaestro_units::Ratio;
+
+    /// Builds the Fig. 7a rig trees with the paper's Table 3 demands and an
+    /// uneven split for the dual-corded servers.
+    fn fig7a_trees() -> (Topology, Vec<ControlTree>) {
+        let topo = figure7a_rig();
+        let demands = [
+            ("SA", 414.0),
+            ("SB", 415.0),
+            ("SC", 433.0),
+            ("SD", 439.0),
+        ];
+        let mut trees: Vec<ControlTree> = topo
+            .control_tree_specs()
+            .into_iter()
+            .map(ControlTree::new)
+            .collect();
+        for tree in &mut trees {
+            let topo_ref = &topo;
+            tree.set_inputs_with(|server, supply| {
+                let name = topo_ref.server(server).unwrap().name().to_string();
+                let demand = demands
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, d)| *d)
+                    .unwrap();
+                // SA and SB are single-corded (share 1). SC and SD split
+                // unevenly: X side carries 53 %, Y side 47 % for SC;
+                // SD is 46/54 — mismatched splits strand power.
+                let share = match (name.as_str(), supply.index()) {
+                    ("SA", _) | ("SB", _) => 1.0,
+                    ("SC", 0) => 0.53,
+                    ("SC", _) => 0.47,
+                    ("SD", 0) => 0.46,
+                    _ => 0.54,
+                };
+                SupplyInput {
+                    demand: Watts::new(demand),
+                    cap_min: Watts::new(270.0),
+                    cap_max: Watts::new(490.0),
+                    share: Ratio::new(share),
+                }
+            });
+        }
+        (topo, trees)
+    }
+
+    #[test]
+    fn detects_and_reclaims_stranded_power() {
+        let (topo, trees) = fig7a_trees();
+        let budgets = vec![Watts::new(700.0), Watts::new(700.0)];
+        let outcome = optimize_stranded_power(&trees, &budgets, &GlobalPriority::new());
+
+        // Something must be stranded: SC/SD splits cannot match the
+        // independent X/Y allocations exactly.
+        assert!(outcome.total_stranded() > Watts::new(5.0));
+
+        // SB (Y-side only, low priority, capped in pass 1) must gain power.
+        let sb = topo.server_by_name("SB").unwrap();
+        let before = outcome
+            .initial_supply_budget(sb, SupplyIndex::FIRST)
+            .unwrap();
+        let after = outcome.final_supply_budget(sb, SupplyIndex::FIRST).unwrap();
+        assert!(
+            after > before + Watts::new(5.0),
+            "SB budget should grow: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn high_priority_server_is_unaffected() {
+        let (topo, trees) = fig7a_trees();
+        let budgets = vec![Watts::new(700.0), Watts::new(700.0)];
+        let outcome = optimize_stranded_power(&trees, &budgets, &GlobalPriority::new());
+        let sa = topo.server_by_name("SA").unwrap();
+        let before = outcome
+            .initial_supply_budget(sa, SupplyIndex::FIRST)
+            .unwrap();
+        let after = outcome.final_supply_budget(sa, SupplyIndex::FIRST).unwrap();
+        // SA was already fully served (high priority): its budget must not
+        // shrink below its demand.
+        assert!(before >= Watts::new(413.0));
+        assert!(after >= Watts::new(413.0));
+    }
+
+    #[test]
+    fn feed_budgets_still_respected_after_spo() {
+        let (_, trees) = fig7a_trees();
+        let budgets = vec![Watts::new(700.0), Watts::new(700.0)];
+        let outcome = optimize_stranded_power(&trees, &budgets, &GlobalPriority::new());
+        for (alloc, budget) in outcome.second.iter().zip(&budgets) {
+            assert!(
+                alloc.total_leaf_budget() <= *budget + Watts::new(1e-6),
+                "post-SPO allocation exceeds feed budget"
+            );
+        }
+    }
+
+    #[test]
+    fn no_strand_when_splits_match_budgets() {
+        // A single-feed scenario (every server single-corded) strands
+        // nothing: each supply's budget is exactly consumable.
+        let topo = capmaestro_topology::presets::figure2_feed();
+        let spec = topo.control_tree_specs().remove(0);
+        let tree = ControlTree::with_uniform(
+            spec,
+            SupplyInput {
+                demand: Watts::new(430.0),
+                cap_min: Watts::new(270.0),
+                cap_max: Watts::new(490.0),
+                share: Ratio::ONE,
+            },
+        );
+        let outcome = optimize_stranded_power(
+            &[tree],
+            &[Watts::new(1240.0)],
+            &GlobalPriority::new(),
+        );
+        assert_eq!(outcome.total_stranded(), Watts::ZERO);
+        // Second pass equals the first.
+        assert_eq!(outcome.first[0], outcome.second[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one root budget per tree")]
+    fn mismatched_lengths_panic() {
+        let (_, trees) = fig7a_trees();
+        let _ = optimize_stranded_power(&trees, &[Watts::new(700.0)], &GlobalPriority::new());
+    }
+
+    #[test]
+    fn iterated_spo_reaches_a_fixpoint() {
+        let (_, trees) = fig7a_trees();
+        let budgets = vec![Watts::new(700.0), Watts::new(700.0)];
+        let (outcome, rounds) = optimize_stranded_power_iterated(
+            &trees,
+            &budgets,
+            &GlobalPriority::new(),
+            5,
+        );
+        assert!((1..=5).contains(&rounds));
+        // At the fixpoint (or cap), budgets still respect the feeds.
+        for (alloc, budget) in outcome.second.iter().zip(&budgets) {
+            assert!(alloc.total_leaf_budget() <= *budget + Watts::new(1e-6));
+        }
+        // A single extra round never *loses* served power vs one pass.
+        let single = optimize_stranded_power(&trees, &budgets, &GlobalPriority::new());
+        let views_single = collect_server_views(&trees, &single.second);
+        let views_iter = collect_server_views(&trees, &outcome.second);
+        let served_single: Watts =
+            views_single.values().map(achievable_consumption).sum();
+        let served_iter: Watts =
+            views_iter.values().map(achievable_consumption).sum();
+        assert!(served_iter >= served_single - Watts::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SPO round")]
+    fn zero_rounds_rejected() {
+        let (_, trees) = fig7a_trees();
+        let _ = optimize_stranded_power_iterated(
+            &trees,
+            &[Watts::new(700.0), Watts::new(700.0)],
+            &GlobalPriority::new(),
+            0,
+        );
+    }
+
+    #[test]
+    fn spo_never_reduces_total_served_power() {
+        let (_, trees) = fig7a_trees();
+        let budgets = vec![Watts::new(700.0), Watts::new(700.0)];
+        let outcome = optimize_stranded_power(&trees, &budgets, &GlobalPriority::new());
+        let views1 = collect_server_views(&trees, &outcome.first);
+        let total_before: Watts = views1.values().map(achievable_consumption).sum();
+        // Recompute achievable consumption under the second allocation with
+        // the ORIGINAL inputs (shares/demands unchanged physically).
+        let views2 = collect_server_views(&trees, &outcome.second);
+        let total_after: Watts = views2.values().map(achievable_consumption).sum();
+        assert!(
+            total_after >= total_before - Watts::new(1e-6),
+            "SPO reduced served power: {total_before} -> {total_after}"
+        );
+    }
+}

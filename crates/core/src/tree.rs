@@ -1,0 +1,509 @@
+//! The runtime control tree: shifting controllers mirroring the power
+//! topology, with gather-up and budget-down passes (paper §4.1/§4.3).
+
+use std::collections::HashMap;
+
+use capmaestro_topology::{ControlTreeSpec, Priority, ServerId, SupplyIndex};
+use capmaestro_units::{Ratio, Watts};
+
+use crate::budget::split_budget;
+use crate::metrics::{LeafInput, PriorityMetrics};
+use crate::policy::{CappingPolicy, NodeContext, PriorityVisibility};
+
+/// Runtime power information for one server supply, fed into its capping
+/// controller's metrics (priority comes from the tree spec).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupplyInput {
+    /// Estimated server power demand at full performance (total AC).
+    pub demand: Watts,
+    /// The server's minimum controllable AC power.
+    pub cap_min: Watts,
+    /// The server's maximum controllable AC power.
+    pub cap_max: Watts,
+    /// Fraction of the server load this supply carries.
+    pub share: Ratio,
+}
+
+/// The outcome of one allocation pass over a control tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    node_budgets: Vec<Watts>,
+    supply_budgets: HashMap<(ServerId, SupplyIndex), Watts>,
+    unallocated: Watts,
+}
+
+impl Allocation {
+    /// The budget assigned to a tree node (by spec index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node_budget(&self, idx: usize) -> Watts {
+        self.node_budgets[idx]
+    }
+
+    /// The budget assigned to a server supply, if that supply is in this
+    /// tree.
+    pub fn supply_budget(&self, server: ServerId, supply: SupplyIndex) -> Option<Watts> {
+        self.supply_budgets.get(&(server, supply)).copied()
+    }
+
+    /// Iterates `(server, supply, budget)` over all leaf budgets.
+    pub fn supply_budgets(
+        &self,
+    ) -> impl Iterator<Item = (ServerId, SupplyIndex, Watts)> + '_ {
+        self.supply_budgets
+            .iter()
+            .map(|(&(server, supply), &w)| (server, supply, w))
+    }
+
+    /// Power the root received but could not place (children saturated).
+    pub fn unallocated(&self) -> Watts {
+        self.unallocated
+    }
+
+    /// Total budget across all leaves.
+    pub fn total_leaf_budget(&self) -> Watts {
+        self.supply_budgets.values().sum()
+    }
+}
+
+/// A control tree instantiated from a [`ControlTreeSpec`]: one shifting
+/// controller per internal node, one capping-controller binding per leaf.
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_core::tree::{ControlTree, SupplyInput};
+/// use capmaestro_core::policy::GlobalPriority;
+/// use capmaestro_topology::presets::figure2_feed;
+/// use capmaestro_units::{Ratio, Watts};
+///
+/// let topo = figure2_feed();
+/// let spec = topo.control_tree_specs().remove(0);
+/// let mut tree = ControlTree::with_uniform(
+///     spec,
+///     SupplyInput {
+///         demand: Watts::new(430.0),
+///         cap_min: Watts::new(270.0),
+///         cap_max: Watts::new(490.0),
+///         share: Ratio::ONE,
+///     },
+/// );
+/// let alloc = tree.allocate(Watts::new(1240.0), &GlobalPriority::new());
+/// // The high-priority server (SA) receives its full 430 W demand.
+/// let sa = topo.server_by_name("SA").unwrap();
+/// use capmaestro_topology::SupplyIndex;
+/// assert_eq!(alloc.supply_budget(sa, SupplyIndex::FIRST), Some(Watts::new(430.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ControlTree {
+    spec: ControlTreeSpec,
+    inputs: Vec<Option<SupplyInput>>,
+    depths: Vec<usize>,
+}
+
+impl ControlTree {
+    /// Creates a tree with no supply inputs set; every leaf must receive a
+    /// [`SupplyInput`] before [`ControlTree::allocate`].
+    pub fn new(spec: ControlTreeSpec) -> Self {
+        let mut depths = vec![0usize; spec.len()];
+        for idx in 0..spec.len() {
+            if let Some(p) = spec.node(idx).parent {
+                depths[idx] = depths[p] + 1;
+            }
+        }
+        let inputs = vec![None; spec.len()];
+        ControlTree {
+            spec,
+            inputs,
+            depths,
+        }
+    }
+
+    /// Creates a tree with every leaf sharing the same input — convenient
+    /// for homogeneous test rigs.
+    pub fn with_uniform(spec: ControlTreeSpec, input: SupplyInput) -> Self {
+        let mut tree = ControlTree::new(spec);
+        for idx in 0..tree.spec.len() {
+            if tree.spec.node(idx).is_leaf() {
+                tree.inputs[idx] = Some(input);
+            }
+        }
+        tree
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &ControlTreeSpec {
+        &self.spec
+    }
+
+    /// Sets the input for a server supply. Returns `false` if the supply is
+    /// not a leaf of this tree.
+    pub fn set_supply_input(
+        &mut self,
+        server: ServerId,
+        supply: SupplyIndex,
+        input: SupplyInput,
+    ) -> bool {
+        for idx in 0..self.spec.len() {
+            if let Some(leaf) = &self.spec.node(idx).leaf {
+                if leaf.server == server && leaf.supply == supply {
+                    self.inputs[idx] = Some(input);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Sets inputs for all leaves from a callback.
+    pub fn set_inputs_with(&mut self, mut f: impl FnMut(ServerId, SupplyIndex) -> SupplyInput) {
+        for idx in 0..self.spec.len() {
+            if let Some(leaf) = self.spec.node(idx).leaf {
+                self.inputs[idx] = Some(f(leaf.server, leaf.supply));
+            }
+        }
+    }
+
+    /// The input currently set for a leaf node index.
+    pub fn input_at(&self, idx: usize) -> Option<&SupplyInput> {
+        self.inputs.get(idx).and_then(|i| i.as_ref())
+    }
+
+    /// Overrides leaf priorities in place. Monte-Carlo capacity trials use
+    /// this to re-randomize the high-priority placement without rebuilding
+    /// the topology.
+    pub fn set_priorities_with(&mut self, mut f: impl FnMut(ServerId) -> Priority) {
+        for idx in 0..self.spec.len() {
+            if let Some(leaf) = self.spec.node_mut(idx).leaf.as_mut() {
+                leaf.priority = f(leaf.server);
+            }
+        }
+    }
+
+    fn node_context(&self, idx: usize) -> NodeContext {
+        let node = self.spec.node(idx);
+        let is_leaf_parent = !node.children.is_empty()
+            && node
+                .children
+                .iter()
+                .all(|&c| self.spec.node(c).is_leaf());
+        NodeContext {
+            is_leaf_parent,
+            depth: self.depths[idx],
+        }
+    }
+
+    /// The metrics-gathering phase: per-node priority summaries, bottom-up,
+    /// with the policy deciding where levels collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any leaf lacks a [`SupplyInput`].
+    pub fn gather(&self, policy: &dyn CappingPolicy) -> Vec<PriorityMetrics> {
+        let n = self.spec.len();
+        let mut metrics: Vec<PriorityMetrics> = vec![PriorityMetrics::empty(); n];
+        for idx in (0..n).rev() {
+            let node = self.spec.node(idx);
+            if let Some(leaf) = &node.leaf {
+                let input = self.inputs[idx].unwrap_or_else(|| {
+                    panic!(
+                        "leaf {idx} ({}) has no supply input set",
+                        self.spec.node(idx).name
+                    )
+                });
+                metrics[idx] = PriorityMetrics::from_leaf(&LeafInput {
+                    demand: input.demand,
+                    cap_min: input.cap_min,
+                    cap_max: input.cap_max,
+                    share: input.share,
+                    priority: leaf.priority,
+                });
+            } else {
+                let visibility = policy.visibility(self.node_context(idx));
+                let children: Vec<PriorityMetrics> = node
+                    .children
+                    .iter()
+                    .map(|&c| match visibility {
+                        PriorityVisibility::Full => metrics[c].clone(),
+                        PriorityVisibility::Blind => metrics[c].collapsed(),
+                    })
+                    .collect();
+                metrics[idx] = PriorityMetrics::aggregate(children.iter(), node.limit);
+            }
+        }
+        metrics
+    }
+
+    /// Runs one full control round: gather metrics, then distribute
+    /// `root_budget` down the tree under `policy`.
+    ///
+    /// The effective root budget is clamped by the root node's own limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty or any leaf lacks an input.
+    pub fn allocate(&self, root_budget: Watts, policy: &dyn CappingPolicy) -> Allocation {
+        assert!(!self.spec.is_empty(), "cannot allocate over an empty tree");
+        let metrics = self.gather(policy);
+        let n = self.spec.len();
+        let mut node_budgets = vec![Watts::ZERO; n];
+        let root = self.spec.root();
+        let root_limit = self.spec.node(root).limit.unwrap_or(root_budget);
+        node_budgets[root] = root_budget.min(root_limit);
+        let mut unallocated = root_budget - node_budgets[root];
+
+        #[allow(clippy::needless_range_loop)] // parallel arrays indexed in topological order
+        for idx in 0..n {
+            let node = self.spec.node(idx);
+            if node.children.is_empty() {
+                continue;
+            }
+            let visibility = policy.visibility(self.node_context(idx));
+            let children_metrics: Vec<PriorityMetrics> = node
+                .children
+                .iter()
+                .map(|&c| match visibility {
+                    PriorityVisibility::Full => metrics[c].clone(),
+                    PriorityVisibility::Blind => metrics[c].collapsed(),
+                })
+                .collect();
+            let split = split_budget(node_budgets[idx], &children_metrics);
+            for (&child, budget) in node.children.iter().zip(&split.budgets) {
+                node_budgets[child] = *budget;
+            }
+            if idx == root {
+                unallocated += split.unallocated;
+            }
+        }
+
+        let mut supply_budgets = HashMap::new();
+        for (idx, budget) in node_budgets.iter().enumerate() {
+            if let Some(leaf) = &self.spec.node(idx).leaf {
+                supply_budgets.insert((leaf.server, leaf.supply), *budget);
+            }
+        }
+        Allocation {
+            node_budgets,
+            supply_budgets,
+            unallocated,
+        }
+    }
+
+    /// The distinct priority levels present among this tree's leaves,
+    /// descending.
+    pub fn priority_levels(&self) -> Vec<Priority> {
+        self.spec.priority_levels_desc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GlobalPriority, LocalPriority, NoPriority};
+    use capmaestro_topology::presets::figure2_feed;
+    use capmaestro_topology::Topology;
+
+    const PAPER_INPUT: SupplyInput = SupplyInput {
+        demand: Watts::new(430.0),
+        cap_min: Watts::new(270.0),
+        cap_max: Watts::new(490.0),
+        share: Ratio::ONE,
+    };
+
+    fn fig2_tree() -> (Topology, ControlTree) {
+        let topo = figure2_feed();
+        let spec = topo.control_tree_specs().remove(0);
+        let tree = ControlTree::with_uniform(spec, PAPER_INPUT);
+        (topo, tree)
+    }
+
+    fn budget_of(topo: &Topology, alloc: &Allocation, name: &str) -> Watts {
+        let id = topo.server_by_name(name).unwrap();
+        alloc
+            .supply_budget(id, SupplyIndex::FIRST)
+            .unwrap_or_else(|| panic!("no budget for {name}"))
+    }
+
+    #[test]
+    fn table1_global_priority_budgets() {
+        let (topo, tree) = fig2_tree();
+        let alloc = tree.allocate(Watts::new(1240.0), &GlobalPriority::new());
+        assert_eq!(budget_of(&topo, &alloc, "SA"), Watts::new(430.0));
+        assert_eq!(budget_of(&topo, &alloc, "SB"), Watts::new(270.0));
+        assert_eq!(budget_of(&topo, &alloc, "SC"), Watts::new(270.0));
+        assert_eq!(budget_of(&topo, &alloc, "SD"), Watts::new(270.0));
+    }
+
+    #[test]
+    fn table1_local_priority_budgets() {
+        let (topo, tree) = fig2_tree();
+        let alloc = tree.allocate(Watts::new(1240.0), &LocalPriority::new());
+        // The paper's Table 1: 350 / 270 / 310 / 310.
+        assert_eq!(budget_of(&topo, &alloc, "SA"), Watts::new(350.0));
+        assert_eq!(budget_of(&topo, &alloc, "SB"), Watts::new(270.0));
+        assert_eq!(budget_of(&topo, &alloc, "SC"), Watts::new(310.0));
+        assert_eq!(budget_of(&topo, &alloc, "SD"), Watts::new(310.0));
+    }
+
+    #[test]
+    fn no_priority_splits_proportionally() {
+        let (topo, tree) = fig2_tree();
+        let alloc = tree.allocate(Watts::new(1240.0), &NoPriority::new());
+        // Equal demands ⇒ equal budgets: 1240 / 4 = 310 each.
+        for name in ["SA", "SB", "SC", "SD"] {
+            assert!(budget_of(&topo, &alloc, name)
+                .approx_eq(Watts::new(310.0), Watts::new(1e-6)));
+        }
+    }
+
+    #[test]
+    fn budgets_respect_cb_limits() {
+        let (_, tree) = fig2_tree();
+        for policy in [
+            &GlobalPriority::new() as &dyn CappingPolicy,
+            &LocalPriority::new(),
+            &NoPriority::new(),
+        ] {
+            let alloc = tree.allocate(Watts::new(5000.0), policy);
+            // Left/Right CBs (indices 1 and 2 in the fig2 spec) are 750 W.
+            assert!(alloc.node_budget(1) <= Watts::new(750.0) + Watts::new(1e-6));
+            assert!(alloc.node_budget(2) <= Watts::new(750.0) + Watts::new(1e-6));
+            // Root clamped to its 1400 W limit.
+            assert!(alloc.node_budget(0) <= Watts::new(1400.0) + Watts::new(1e-6));
+        }
+    }
+
+    #[test]
+    fn root_budget_above_limit_reported_unallocated() {
+        let (_, tree) = fig2_tree();
+        let alloc = tree.allocate(Watts::new(5000.0), &GlobalPriority::new());
+        assert!(alloc.unallocated() >= Watts::new(5000.0 - 1400.0) - Watts::new(1e-6));
+    }
+
+    #[test]
+    fn generous_budget_fills_demand_and_surplus() {
+        let (topo, tree) = fig2_tree();
+        let alloc = tree.allocate(Watts::new(1400.0), &GlobalPriority::new());
+        // 1400 covers floors (1080) + SA's extra (160) = wait, covers all
+        // demands? Σ demand = 1720 > 1400, so step 3 splits the rest.
+        let total = alloc.total_leaf_budget();
+        assert!(total.approx_eq(Watts::new(1400.0), Watts::new(1e-6)));
+        // SA still gets its demand first.
+        assert_eq!(budget_of(&topo, &alloc, "SA"), Watts::new(430.0));
+    }
+
+    #[test]
+    fn conservation_under_all_policies() {
+        let (_, tree) = fig2_tree();
+        for policy in [
+            &GlobalPriority::new() as &dyn CappingPolicy,
+            &LocalPriority::new(),
+            &NoPriority::new(),
+        ] {
+            for budget in [1080.0, 1240.0, 1400.0, 1700.0] {
+                let alloc = tree.allocate(Watts::new(budget), policy);
+                let leaf_total = alloc.total_leaf_budget();
+                assert!(
+                    leaf_total <= Watts::new(budget) + Watts::new(1e-6),
+                    "{}: leaves exceed budget at {budget}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_demands_through_set_inputs_with() {
+        // Table 2's measured demands: 420 / 413 / 417 / 423.
+        let (topo, mut tree) = {
+            let (t, tr) = fig2_tree();
+            (t, tr)
+        };
+        let demands = [("SA", 420.0), ("SB", 413.0), ("SC", 417.0), ("SD", 423.0)];
+        let by_id: Vec<(ServerId, f64)> = demands
+            .iter()
+            .map(|(n, d)| (topo.server_by_name(n).unwrap(), *d))
+            .collect();
+        tree.set_inputs_with(|server, _| {
+            let demand = by_id
+                .iter()
+                .find(|(id, _)| *id == server)
+                .map(|(_, d)| *d)
+                .unwrap();
+            SupplyInput {
+                demand: Watts::new(demand),
+                ..PAPER_INPUT
+            }
+        });
+        let alloc = tree.allocate(Watts::new(1240.0), &GlobalPriority::new());
+        // SA gets its full demand; the rest are pushed toward cap_min.
+        assert_eq!(budget_of(&topo, &alloc, "SA"), Watts::new(420.0));
+        for name in ["SB", "SC", "SD"] {
+            let b = budget_of(&topo, &alloc, name);
+            assert!(
+                b >= Watts::new(270.0) - Watts::new(1e-6) && b < Watts::new(290.0),
+                "{name} got {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn light_demand_still_budgeted_to_cap_min() {
+        let (topo, mut tree) = fig2_tree();
+        // SB runs nearly idle; its budget must still be at least cap_min.
+        let sb = topo.server_by_name("SB").unwrap();
+        tree.set_supply_input(
+            sb,
+            SupplyIndex::FIRST,
+            SupplyInput {
+                demand: Watts::new(170.0),
+                ..PAPER_INPUT
+            },
+        );
+        let alloc = tree.allocate(Watts::new(1240.0), &GlobalPriority::new());
+        assert!(budget_of(&topo, &alloc, "SB") >= Watts::new(270.0) - Watts::new(1e-6));
+    }
+
+    #[test]
+    fn set_supply_input_rejects_unknown() {
+        let (_, mut tree) = fig2_tree();
+        assert!(!tree.set_supply_input(
+            ServerId(999),
+            SupplyIndex::FIRST,
+            PAPER_INPUT
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "no supply input")]
+    fn allocate_without_inputs_panics() {
+        let topo = figure2_feed();
+        let spec = topo.control_tree_specs().remove(0);
+        let tree = ControlTree::new(spec);
+        let _ = tree.allocate(Watts::new(1240.0), &GlobalPriority::new());
+    }
+
+    #[test]
+    fn gather_reports_levels_per_policy() {
+        let (_, tree) = fig2_tree();
+        let global = tree.gather(&GlobalPriority::new());
+        // Root sees both priority levels under Global.
+        assert_eq!(global[0].level_count(), 2);
+        let local = tree.gather(&LocalPriority::new());
+        // Root sees a single collapsed level under Local.
+        assert_eq!(local[0].level_count(), 1);
+        let nop = tree.gather(&NoPriority::new());
+        assert_eq!(nop[0].level_count(), 1);
+    }
+
+    #[test]
+    fn priority_levels_listed() {
+        let (_, tree) = fig2_tree();
+        assert_eq!(
+            tree.priority_levels(),
+            vec![Priority::HIGH, Priority::LOW]
+        );
+    }
+}

@@ -1,0 +1,762 @@
+//! Distributed rack-/room-worker deployment of the control plane
+//! (paper §5).
+//!
+//! The production CapMaestro prototype groups controllers into *worker VMs*:
+//! rack-level workers own the capping controllers and the lowest (CDU-level)
+//! shifting controllers; a room-level worker owns everything above, up to
+//! the contractual budget. Each control period, priority-summarized metrics
+//! flow rack → room and budgets flow room → rack.
+//!
+//! This module reproduces that deployment with one OS thread per rack
+//! worker and crossbeam channels as the transport. The *cut* between room
+//! and rack workers is the set of leaf-parent nodes of each control tree
+//! (the CDU-level shifting controllers). Decisions are identical to the
+//! synchronous [`crate::plane::ControlPlane`] running the same policy
+//! without SPO — a property the tests assert — but sensing, metrics
+//! computation, and cap enforcement run concurrently per rack.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use capmaestro_topology::{ServerId, SupplyIndex};
+use capmaestro_units::{Ratio, Watts};
+
+use crate::budget::split_budget;
+use crate::capping::CappingController;
+use crate::estimator::DemandEstimator;
+use crate::metrics::{LeafInput, PriorityMetrics};
+use crate::policy::{CappingPolicy, NodeContext, PolicyKind, PriorityVisibility};
+use crate::tree::ControlTree;
+
+/// Identifies a cut node: `(tree index, spec node index)`.
+pub type CutId = (usize, usize);
+
+/// How long the room worker waits for rack metrics before budgeting from
+/// stale data (a real deployment tunes this against its control period).
+pub const GATHER_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// A farm shared between rack workers, guarded by a read-write lock —
+/// the stand-in for the IPMI transport to real hardware.
+pub type SharedFarm = Arc<RwLock<crate::plane::Farm>>;
+
+/// Wraps a [`crate::plane::Farm`] for sharing with rack workers.
+pub fn shared_farm(farm: crate::plane::Farm) -> SharedFarm {
+    Arc::new(RwLock::new(farm))
+}
+
+#[derive(Debug)]
+enum UpMsg {
+    Metrics {
+        worker: usize,
+        round: u64,
+        metrics: Vec<(CutId, PriorityMetrics)>,
+    },
+}
+
+#[derive(Debug)]
+enum DownMsg {
+    /// Sense, estimate, and report metrics for round `round`.
+    Gather { round: u64 },
+    /// Budgets for this worker's cut nodes; split and enforce.
+    Budgets { budgets: Vec<(CutId, Watts)> },
+    Shutdown,
+}
+
+/// Static description of one rack worker's responsibility: a set of cut
+/// nodes (CDU-level shifting controllers) and, implicitly, the leaves
+/// below them.
+/// A leaf binding beneath a cut node: `(leaf spec index, server, supply)`.
+type LeafBinding = (usize, ServerId, SupplyIndex);
+
+#[derive(Debug, Clone)]
+struct RackAssignment {
+    /// For each cut node: its id and the leaf bindings beneath it.
+    cuts: Vec<(CutId, Vec<LeafBinding>)>,
+}
+
+/// The distributed deployment: a room worker (caller thread) plus rack
+/// worker threads.
+///
+/// # Examples
+///
+/// See [`WorkerDeployment::run_rounds`] usage in the crate tests and the
+/// `priority_capping` example.
+#[derive(Debug)]
+pub struct WorkerDeployment {
+    trees: Vec<ControlTree>,
+    root_budgets: Vec<Watts>,
+    policy: PolicyKind,
+    farm: SharedFarm,
+    handles: Vec<JoinHandle<()>>,
+    to_workers: Vec<Sender<DownMsg>>,
+    from_workers: Receiver<UpMsg>,
+    /// Cut node ids per tree, in spec order.
+    cuts_per_tree: Vec<Vec<usize>>,
+    worker_count: usize,
+    /// Freshest metrics seen per cut node (stale-hold fault tolerance).
+    last_cut_metrics: HashMap<CutId, PriorityMetrics>,
+}
+
+/// Returns the leaf-parent (cut) node indices of a tree spec.
+fn cut_nodes(tree: &ControlTree) -> Vec<usize> {
+    let spec = tree.spec();
+    (0..spec.len())
+        .filter(|&idx| {
+            let node = spec.node(idx);
+            !node.children.is_empty()
+                && node.children.iter().all(|&c| spec.node(c).is_leaf())
+        })
+        .collect()
+}
+
+impl WorkerDeployment {
+    /// Spawns `worker_count` rack workers over the given trees, budgets,
+    /// and shared farm. Cut nodes are distributed round-robin across
+    /// workers (a real deployment groups them by rack; the grouping does
+    /// not change the decisions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_count == 0` or tree/budget counts differ.
+    pub fn spawn(
+        trees: Vec<ControlTree>,
+        root_budgets: Vec<Watts>,
+        policy: PolicyKind,
+        farm: SharedFarm,
+        worker_count: usize,
+    ) -> Self {
+        assert!(worker_count > 0, "at least one rack worker is required");
+        assert_eq!(
+            trees.len(),
+            root_budgets.len(),
+            "one root budget per control tree is required"
+        );
+
+        let cuts_per_tree: Vec<Vec<usize>> = trees.iter().map(cut_nodes).collect();
+
+        // Round-robin cut nodes over workers.
+        let mut assignments: Vec<RackAssignment> = (0..worker_count)
+            .map(|_| RackAssignment { cuts: Vec::new() })
+            .collect();
+        let mut rr = 0usize;
+        for (t, tree) in trees.iter().enumerate() {
+            for &cut in &cuts_per_tree[t] {
+                let spec = tree.spec();
+                let leaves: Vec<LeafBinding> = spec
+                    .node(cut)
+                    .children
+                    .iter()
+                    .map(|&c| {
+                        let leaf = spec.node(c).leaf.expect("cut children are leaves");
+                        (c, leaf.server, leaf.supply)
+                    })
+                    .collect();
+                assignments[rr % worker_count]
+                    .cuts
+                    .push(((t, cut), leaves));
+                rr += 1;
+            }
+        }
+
+        let (up_tx, from_workers) = unbounded::<UpMsg>();
+        let mut to_workers = Vec::with_capacity(worker_count);
+        let mut handles = Vec::with_capacity(worker_count);
+        for (w, assignment) in assignments.into_iter().enumerate() {
+            let (down_tx, down_rx) = unbounded::<DownMsg>();
+            to_workers.push(down_tx);
+            let up = up_tx.clone();
+            let farm = Arc::clone(&farm);
+            let trees = trees.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("rack-worker-{w}"))
+                    .spawn(move || {
+                        rack_worker_loop(w, assignment, trees, policy, farm, up, down_rx)
+                    })
+                    .expect("spawning a rack worker thread"),
+            );
+        }
+
+        WorkerDeployment {
+            trees,
+            root_budgets,
+            policy,
+            farm,
+            handles,
+            to_workers,
+            from_workers,
+            cuts_per_tree,
+            worker_count,
+            last_cut_metrics: HashMap::new(),
+        }
+    }
+
+    /// Number of rack workers.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Runs one control round: gather (rack, parallel) → upper-tree
+    /// aggregation + budgeting (room) → enforce (rack, parallel).
+    /// Returns the budgets assigned to each cut node.
+    ///
+    /// **Fault tolerance**: a rack worker that does not answer within
+    /// [`GATHER_TIMEOUT`] is skipped for the round and the room worker
+    /// budgets its cut nodes from the *last metrics it reported* — the
+    /// stale-hold behaviour a production control plane needs so one sick
+    /// VM cannot stall capping for the whole data center. Cut nodes that
+    /// have never reported fall back to empty metrics (they receive no
+    /// budget until their worker appears).
+    pub fn run_round(&mut self, round: u64) -> HashMap<CutId, Watts> {
+        // Phase 1: gather. Send errors mean the worker is gone; rely on
+        // its cached metrics below.
+        let mut expected = 0usize;
+        for tx in &self.to_workers {
+            if tx.send(DownMsg::Gather { round }).is_ok() {
+                expected += 1;
+            }
+        }
+        let deadline = std::time::Instant::now() + GATHER_TIMEOUT;
+        let mut reported = vec![false; self.worker_count];
+        let mut answers = 0usize;
+        while answers < expected {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.from_workers.recv_timeout(remaining) {
+                Ok(UpMsg::Metrics {
+                    worker,
+                    round: r,
+                    metrics,
+                }) => {
+                    if r != round {
+                        // A late answer to an earlier round: its metrics
+                        // are still fresher than whatever we hold.
+                        for (cut, m) in metrics {
+                            self.last_cut_metrics.insert(cut, m);
+                        }
+                        continue;
+                    }
+                    if !reported[worker] {
+                        reported[worker] = true;
+                        answers += 1;
+                    }
+                    for (cut, m) in metrics {
+                        self.last_cut_metrics.insert(cut, m);
+                    }
+                }
+                Err(_) => break, // timeout or all senders dropped
+            }
+        }
+
+        // Phase 2: the room worker allocates over each tree's upper part,
+        // treating cut nodes as pseudo-leaves with the freshest metrics it
+        // holds for each.
+        let mut cut_budgets: HashMap<CutId, Watts> = HashMap::new();
+        let policy = self.policy.policy();
+        for (t, tree) in self.trees.iter().enumerate() {
+            let last = &self.last_cut_metrics;
+            let budgets = room_allocate_upper(
+                tree,
+                &self.cuts_per_tree[t],
+                |cut| {
+                    last.get(&(t, cut))
+                        .cloned()
+                        .unwrap_or_else(PriorityMetrics::empty)
+                },
+                self.root_budgets[t],
+                policy.as_ref(),
+            );
+            for (cut, b) in budgets {
+                cut_budgets.insert((t, cut), b);
+            }
+        }
+
+        // Phase 3: enforce (dead workers silently miss their budgets; their
+        // servers hold the last cap they were given — fail-safe).
+        for tx in &self.to_workers {
+            let _ = tx.send(DownMsg::Budgets {
+                budgets: cut_budgets.iter().map(|(&c, &b)| (c, b)).collect(),
+            });
+        }
+        cut_budgets
+    }
+
+    /// Shuts one rack worker down (for fault-injection tests and rolling
+    /// maintenance). Subsequent rounds hold its last metrics.
+    pub fn kill_worker(&mut self, worker: usize) {
+        if let Some(tx) = self.to_workers.get(worker) {
+            let _ = tx.send(DownMsg::Shutdown);
+        }
+    }
+
+    /// Runs `rounds` control periods, stepping the farm `seconds_per_round`
+    /// simulated seconds between rounds (the physical world keeps moving
+    /// while controllers deliberate).
+    pub fn run_rounds(&mut self, rounds: u64, seconds_per_round: u32) {
+        for round in 0..rounds {
+            self.run_round(round);
+            let mut farm = self.farm.write();
+            for _ in 0..seconds_per_round {
+                farm.step_all(capmaestro_units::Seconds::new(1.0));
+            }
+        }
+    }
+
+    /// Shuts the workers down and joins their threads.
+    pub fn shutdown(mut self) {
+        for tx in &self.to_workers {
+            let _ = tx.send(DownMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Room-side allocation over the upper part of one tree: every node except
+/// strict descendants of cut nodes, with cut nodes as pseudo-leaves.
+/// Returns `(cut node, budget)` pairs.
+fn room_allocate_upper(
+    tree: &ControlTree,
+    cuts: &[usize],
+    mut metrics_of_cut: impl FnMut(usize) -> PriorityMetrics,
+    root_budget: Watts,
+    policy: &dyn CappingPolicy,
+) -> Vec<(usize, Watts)> {
+    let spec = tree.spec();
+    let n = spec.len();
+    let is_cut: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &c in cuts {
+            v[c] = true;
+        }
+        v
+    };
+    // A node is "upper" if no proper ancestor is a cut node.
+    let mut upper = vec![false; n];
+    for idx in 0..n {
+        match spec.node(idx).parent {
+            None => upper[idx] = true,
+            Some(p) => upper[idx] = upper[p] && !is_cut[p],
+        }
+    }
+
+    // Gather metrics bottom-up over upper nodes.
+    let mut metrics: Vec<Option<PriorityMetrics>> = vec![None; n];
+    let mut depths = vec![0usize; n];
+    for idx in 0..n {
+        if let Some(p) = spec.node(idx).parent {
+            depths[idx] = depths[p] + 1;
+        }
+    }
+    for idx in (0..n).rev() {
+        if !upper[idx] {
+            continue;
+        }
+        if is_cut[idx] {
+            metrics[idx] = Some(metrics_of_cut(idx));
+            continue;
+        }
+        if spec.node(idx).is_leaf() {
+            // A leaf directly under the upper tree (no CDU level): treat
+            // it as its own cut with empty metrics — deployments should
+            // avoid this, but stay total.
+            metrics[idx] = Some(PriorityMetrics::empty());
+            continue;
+        }
+        let ctx = NodeContext {
+            is_leaf_parent: false,
+            depth: depths[idx],
+        };
+        let visibility = policy.visibility(ctx);
+        let children: Vec<PriorityMetrics> = spec
+            .node(idx)
+            .children
+            .iter()
+            .map(|&c| {
+                let m = metrics[c].clone().expect("children computed first");
+                match visibility {
+                    PriorityVisibility::Full => m,
+                    PriorityVisibility::Blind => m.collapsed(),
+                }
+            })
+            .collect();
+        metrics[idx] = Some(PriorityMetrics::aggregate(
+            children.iter(),
+            spec.node(idx).limit,
+        ));
+    }
+
+    // Budget top-down to the cut nodes.
+    let mut budgets = vec![Watts::ZERO; n];
+    let root = spec.root();
+    let root_limit = spec.node(root).limit.unwrap_or(root_budget);
+    budgets[root] = root_budget.min(root_limit);
+    let mut out = Vec::with_capacity(cuts.len());
+    for idx in 0..n {
+        if !upper[idx] {
+            continue;
+        }
+        if is_cut[idx] {
+            out.push((idx, budgets[idx]));
+            continue;
+        }
+        let node = spec.node(idx);
+        if node.children.is_empty() {
+            continue;
+        }
+        let ctx = NodeContext {
+            is_leaf_parent: false,
+            depth: depths[idx],
+        };
+        let visibility = policy.visibility(ctx);
+        let children_metrics: Vec<PriorityMetrics> = node
+            .children
+            .iter()
+            .map(|&c| {
+                let m = metrics[c].clone().expect("computed");
+                match visibility {
+                    PriorityVisibility::Full => m,
+                    PriorityVisibility::Blind => m.collapsed(),
+                }
+            })
+            .collect();
+        let split = split_budget(budgets[idx], &children_metrics);
+        for (&child, b) in node.children.iter().zip(&split.budgets) {
+            budgets[child] = *b;
+        }
+    }
+    out
+}
+
+/// The rack worker body: senses its servers, reports cut metrics, splits
+/// received budgets to leaves, and drives the capping controllers.
+fn rack_worker_loop(
+    worker: usize,
+    assignment: RackAssignment,
+    trees: Vec<ControlTree>,
+    policy: PolicyKind,
+    farm: SharedFarm,
+    up: Sender<UpMsg>,
+    down: Receiver<DownMsg>,
+) {
+    let policy = policy.policy();
+    let mut estimators: HashMap<ServerId, DemandEstimator> = HashMap::new();
+    let mut controllers: HashMap<ServerId, CappingController> = HashMap::new();
+    // Leaf metrics computed during gather, reused at budget time.
+    let mut leaf_metrics: HashMap<(CutId, usize), PriorityMetrics> = HashMap::new();
+    // Budgets accumulated per server across this worker's cut nodes.
+    let mut round_budgets: HashMap<ServerId, Vec<(SupplyIndex, Watts)>> = HashMap::new();
+
+    while let Ok(msg) = down.recv() {
+        match msg {
+            DownMsg::Gather { round } => {
+                leaf_metrics.clear();
+                round_budgets.clear();
+                let mut out = Vec::with_capacity(assignment.cuts.len());
+                let farm = farm.read();
+                for (cut, leaves) in &assignment.cuts {
+                    let (t, cut_idx) = *cut;
+                    let spec = trees[t].spec();
+                    let mut children = Vec::with_capacity(leaves.len());
+                    for &(leaf_idx, server, _) in leaves {
+                        let leaf = spec.node(leaf_idx).leaf.expect("leaf");
+                        let Some(srv) = farm.get(server) else {
+                            continue;
+                        };
+                        let snap = srv.sense();
+                        let est = estimators.entry(server).or_default();
+                        est.push(snap.throttle, snap.total_ac);
+                        let model = srv.config().model();
+                        let demand = est
+                            .estimate_with_idle(model.idle())
+                            .unwrap_or(snap.total_ac)
+                            .clamp(model.idle(), model.cap_max());
+                        let shares = srv.bank().effective_shares();
+                        let share = shares
+                            .get(leaf.supply.index())
+                            .copied()
+                            .unwrap_or(Ratio::ZERO);
+                        let m = PriorityMetrics::from_leaf(&LeafInput {
+                            demand: demand.max(model.cap_min()),
+                            cap_min: model.cap_min(),
+                            cap_max: model.cap_max(),
+                            share,
+                            priority: leaf.priority,
+                        });
+                        leaf_metrics.insert((*cut, leaf_idx), m.clone());
+                        children.push(m);
+                    }
+                    let ctx = NodeContext {
+                        is_leaf_parent: true,
+                        depth: 0,
+                    };
+                    let children = match policy.visibility(ctx) {
+                        PriorityVisibility::Full => children,
+                        PriorityVisibility::Blind => {
+                            children.iter().map(PriorityMetrics::collapsed).collect()
+                        }
+                    };
+                    let aggregated = PriorityMetrics::aggregate(
+                        children.iter(),
+                        spec.node(cut_idx).limit,
+                    );
+                    out.push((*cut, aggregated));
+                }
+                drop(farm);
+                up.send(UpMsg::Metrics {
+                    worker,
+                    round,
+                    metrics: out,
+                })
+                .expect("room worker alive");
+            }
+            DownMsg::Budgets { budgets } => {
+                // Split each of our cut budgets to leaves.
+                for (cut, leaves) in &assignment.cuts {
+                    let Some(&(_, budget)) =
+                        budgets.iter().find(|(c, _)| c == cut)
+                    else {
+                        continue;
+                    };
+                    let children_metrics: Vec<PriorityMetrics> = leaves
+                        .iter()
+                        .map(|&(leaf_idx, _, _)| {
+                            leaf_metrics
+                                .get(&(*cut, leaf_idx))
+                                .cloned()
+                                .unwrap_or_else(PriorityMetrics::empty)
+                        })
+                        .collect();
+                    let ctx = NodeContext {
+                        is_leaf_parent: true,
+                        depth: 0,
+                    };
+                    let children_metrics: Vec<PriorityMetrics> =
+                        match policy.visibility(ctx) {
+                            PriorityVisibility::Full => children_metrics,
+                            PriorityVisibility::Blind => children_metrics
+                                .iter()
+                                .map(PriorityMetrics::collapsed)
+                                .collect(),
+                        };
+                    let split = split_budget(budget, &children_metrics);
+                    for (&(_, server, supply), b) in leaves.iter().zip(&split.budgets) {
+                        round_budgets
+                            .entry(server)
+                            .or_default()
+                            .push((supply, *b));
+                    }
+                }
+                // Enforce caps on our servers.
+                let mut farm = farm.write();
+                for (&server, supply_budgets) in &round_budgets {
+                    let Some(srv) = farm.get_mut(server) else {
+                        continue;
+                    };
+                    let snap = srv.sense();
+                    let shares = srv.bank().effective_shares();
+                    let mut bs = Vec::new();
+                    let mut ms = Vec::new();
+                    for &(supply, b) in supply_budgets {
+                        let idx = supply.index();
+                        if shares.get(idx).map(|s| s.as_f64() > 0.0) == Some(true) {
+                            bs.push(b);
+                            ms.push(snap.supply_ac[idx]);
+                        }
+                    }
+                    if bs.is_empty() {
+                        continue;
+                    }
+                    let model = srv.config().model();
+                    let controller = controllers.entry(server).or_insert_with(|| {
+                        CappingController::new(
+                            model.cap_min(),
+                            model.cap_max(),
+                            srv.bank().efficiency(),
+                        )
+                    });
+                    let cap = controller.update(&bs, &ms);
+                    srv.set_dc_cap(cap);
+                }
+            }
+            DownMsg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::Farm;
+    use capmaestro_server::{Server, ServerConfig};
+    use capmaestro_topology::presets::figure2_feed;
+    use capmaestro_units::Seconds;
+
+    fn fig2_shared_farm() -> (capmaestro_topology::Topology, SharedFarm, Vec<ControlTree>) {
+        let topo = figure2_feed();
+        let trees: Vec<ControlTree> = topo
+            .control_tree_specs()
+            .into_iter()
+            .map(ControlTree::new)
+            .collect();
+        let mut farm = Farm::new();
+        for (id, _) in topo.servers() {
+            let mut server = Server::new(ServerConfig::paper_default().single_corded());
+            server.set_offered_demand(Watts::new(420.0));
+            server.settle();
+            farm.insert(id, server);
+        }
+        (topo, Arc::new(RwLock::new(farm)), trees)
+    }
+
+    #[test]
+    fn cut_nodes_are_leaf_parents() {
+        let (_, _, trees) = fig2_shared_farm();
+        let cuts = cut_nodes(&trees[0]);
+        // Fig. 2: left and right CBs.
+        assert_eq!(cuts.len(), 2);
+        for cut in cuts {
+            let node = trees[0].spec().node(cut);
+            assert!(node
+                .children
+                .iter()
+                .all(|&c| trees[0].spec().node(c).is_leaf()));
+        }
+    }
+
+    #[test]
+    fn distributed_rounds_protect_high_priority() {
+        let (topo, farm, trees) = fig2_shared_farm();
+        let mut deployment = WorkerDeployment::spawn(
+            trees,
+            vec![Watts::new(1240.0)],
+            PolicyKind::GlobalPriority,
+            Arc::clone(&farm),
+            2,
+        );
+        deployment.run_rounds(10, 8);
+        deployment.shutdown();
+
+        let farm = farm.read();
+        let sa = topo.server_by_name("SA").unwrap();
+        let sb = topo.server_by_name("SB").unwrap();
+        assert!(
+            farm.get(sa).unwrap().performance_fraction().as_f64() > 0.95,
+            "SA perf {}",
+            farm.get(sa).unwrap().performance_fraction()
+        );
+        assert!(farm.get(sb).unwrap().sense().total_ac < Watts::new(310.0));
+        let total: Watts = farm.iter().map(|(_, s)| s.sense().total_ac).sum();
+        assert!(total <= Watts::new(1240.0) * 1.02, "total {total}");
+    }
+
+    #[test]
+    fn distributed_matches_synchronous_budgets() {
+        // The same scenario through the threaded deployment and the
+        // synchronous plane (SPO off) must produce the same cut budgets.
+        let (topo, farm, trees) = fig2_shared_farm();
+
+        // Synchronous reference.
+        let mut sync_farm = Farm::new();
+        for (id, _) in topo.servers() {
+            let mut server = Server::new(ServerConfig::paper_default().single_corded());
+            server.set_offered_demand(Watts::new(420.0));
+            server.settle();
+            sync_farm.insert(id, server);
+        }
+        let mut plane = crate::plane::ControlPlane::new(
+            trees.clone(),
+            vec![Watts::new(1240.0)],
+            crate::plane::PlaneConfig {
+                policy: PolicyKind::GlobalPriority,
+                spo: false,
+                control_period: Seconds::new(8.0),
+            },
+        );
+        plane.record_sample(&sync_farm);
+        let report = plane.run_round(&mut sync_farm);
+
+        let mut deployment = WorkerDeployment::spawn(
+            trees.clone(),
+            vec![Watts::new(1240.0)],
+            PolicyKind::GlobalPriority,
+            Arc::clone(&farm),
+            2,
+        );
+        let cut_budgets = deployment.run_round(0);
+        deployment.shutdown();
+
+        // Compare the budgets at each cut node (left/right CB).
+        for ((t, cut), budget) in cut_budgets {
+            assert_eq!(t, 0);
+            let reference = report.allocations[0].node_budget(cut);
+            assert!(
+                budget.approx_eq(reference, Watts::new(1e-6)),
+                "cut {cut}: distributed {budget} vs sync {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_worker_does_not_stall_the_room() {
+        let (_, farm, trees) = fig2_shared_farm();
+        let mut deployment = WorkerDeployment::spawn(
+            trees,
+            vec![Watts::new(1240.0)],
+            PolicyKind::GlobalPriority,
+            Arc::clone(&farm),
+            2,
+        );
+        // A healthy first round caches every cut's metrics.
+        let healthy = deployment.run_round(0);
+        assert_eq!(healthy.len(), 2);
+
+        // Kill one rack worker; the next round must still produce budgets
+        // for ALL cut nodes, from the stale cache, without hanging.
+        deployment.kill_worker(0);
+        let degraded = deployment.run_round(1);
+        assert_eq!(degraded.len(), 2, "stale-hold must cover the dead worker's cuts");
+        for (cut, budget) in &healthy {
+            let after = degraded[cut];
+            assert!(
+                after.approx_eq(*budget, Watts::new(1.0)),
+                "cut {cut:?} budget changed {budget} -> {after} with frozen metrics"
+            );
+        }
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn worker_count_respected() {
+        let (_, farm, trees) = fig2_shared_farm();
+        let deployment = WorkerDeployment::spawn(
+            trees,
+            vec![Watts::new(1240.0)],
+            PolicyKind::NoPriority,
+            farm,
+            3,
+        );
+        assert_eq!(deployment.worker_count(), 3);
+        deployment.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack worker")]
+    fn zero_workers_panics() {
+        let (_, farm, trees) = fig2_shared_farm();
+        let _ = WorkerDeployment::spawn(
+            trees,
+            vec![Watts::new(1240.0)],
+            PolicyKind::NoPriority,
+            farm,
+            0,
+        );
+    }
+}

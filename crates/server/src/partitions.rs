@@ -1,0 +1,330 @@
+//! Virtual power partitions: per-VM capping inside one server.
+//!
+//! The paper's §7 observes that existing mechanisms "cap power per server",
+//! which forces schedulers to co-locate jobs of similar priority — unless
+//! someone builds "a new mechanism that can cap power for individual
+//! 'virtual partitions' of a server, where … each virtual partition can be
+//! assigned its own power budget". This module is that mechanism, at the
+//! model level: a [`PartitionSet`] divides a server's *dynamic* power
+//! budget across its resident VMs with the same strict-priority waterfall
+//! CapMaestro uses between servers, so a co-located low-priority VM
+//! absorbs the cap before a high-priority neighbour slows down.
+//!
+//! The server's own priority, as reported to the control plane, is the
+//! maximum of its partitions' priorities ([`PartitionSet::max_priority`]) —
+//! the wiring a job scheduler would use with
+//! `ControlPlane::set_priority`.
+
+use core::fmt;
+
+use capmaestro_topology::Priority;
+use capmaestro_units::{Ratio, Watts};
+
+/// One virtual partition (VM/container) resident on a server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualPartition {
+    name: String,
+    priority: Priority,
+    /// Dynamic power the partition would draw at full performance.
+    demand: Watts,
+}
+
+impl VirtualPartition {
+    /// Creates a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative.
+    pub fn new(name: impl Into<String>, priority: Priority, demand: Watts) -> Self {
+        assert!(
+            demand >= Watts::ZERO,
+            "partition demand must be non-negative, got {demand}"
+        );
+        VirtualPartition {
+            name: name.into(),
+            priority,
+            demand,
+        }
+    }
+
+    /// The partition's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The partition's priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The partition's full-performance dynamic power demand.
+    pub fn demand(&self) -> Watts {
+        self.demand
+    }
+}
+
+/// The set of partitions sharing one server's dynamic power budget.
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_server::{PartitionSet, VirtualPartition};
+/// use capmaestro_topology::Priority;
+/// use capmaestro_units::Watts;
+///
+/// let set = PartitionSet::new(vec![
+///     VirtualPartition::new("db", Priority::HIGH, Watts::new(150.0)),
+///     VirtualPartition::new("batch", Priority::LOW, Watts::new(150.0)),
+/// ]);
+/// // Only 200 W of dynamic budget: the DB VM is served first.
+/// let budgets = set.split_dynamic_budget(Watts::new(200.0));
+/// assert_eq!(budgets[0], Watts::new(150.0));
+/// assert_eq!(budgets[1], Watts::new(50.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartitionSet {
+    partitions: Vec<VirtualPartition>,
+}
+
+impl PartitionSet {
+    /// Creates a set from partitions (order is preserved; budgets are
+    /// returned in the same order).
+    pub fn new(partitions: Vec<VirtualPartition>) -> Self {
+        PartitionSet { partitions }
+    }
+
+    /// The partitions, in construction order.
+    pub fn partitions(&self) -> &[VirtualPartition] {
+        &self.partitions
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Adds a partition (e.g. a job arrival).
+    pub fn push(&mut self, partition: VirtualPartition) {
+        self.partitions.push(partition);
+    }
+
+    /// Removes a partition by name (job departure); returns it if present.
+    pub fn remove(&mut self, name: &str) -> Option<VirtualPartition> {
+        let idx = self.partitions.iter().position(|p| p.name() == name)?;
+        Some(self.partitions.remove(idx))
+    }
+
+    /// Total dynamic power demand across partitions.
+    pub fn total_demand(&self) -> Watts {
+        self.partitions.iter().map(|p| p.demand()).sum()
+    }
+
+    /// The highest priority present — what the server should report to the
+    /// control plane.
+    pub fn max_priority(&self) -> Option<Priority> {
+        self.partitions.iter().map(|p| p.priority()).max()
+    }
+
+    /// Splits a dynamic power budget across the partitions with a strict
+    /// priority waterfall: descending priority, each level's demands are
+    /// served in full while the budget lasts; the first level that does
+    /// not fit shares the remainder proportionally to demand; lower levels
+    /// get nothing.
+    ///
+    /// Returns per-partition budgets in construction order; their sum is
+    /// `min(budget, total_demand)`.
+    pub fn split_dynamic_budget(&self, budget: Watts) -> Vec<Watts> {
+        let n = self.partitions.len();
+        let mut budgets = vec![Watts::ZERO; n];
+        if n == 0 {
+            return budgets;
+        }
+        let mut levels: Vec<Priority> =
+            self.partitions.iter().map(|p| p.priority()).collect();
+        levels.sort_unstable_by(|a, b| b.cmp(a));
+        levels.dedup();
+
+        let mut remaining = budget.clamp_non_negative();
+        for level in levels {
+            let members: Vec<usize> = (0..n)
+                .filter(|&i| self.partitions[i].priority() == level)
+                .collect();
+            let level_demand: Watts =
+                members.iter().map(|&i| self.partitions[i].demand()).sum();
+            if level_demand <= Watts::ZERO {
+                continue;
+            }
+            if remaining >= level_demand {
+                for &i in &members {
+                    budgets[i] = self.partitions[i].demand();
+                }
+                remaining -= level_demand;
+            } else {
+                let scale = remaining / level_demand;
+                for &i in &members {
+                    budgets[i] = self.partitions[i].demand() * scale;
+                }
+                break;
+            }
+        }
+        budgets
+    }
+
+    /// Per-partition achieved performance under a dynamic budget, applying
+    /// the DVFS relation `perf = (budget/demand)^(1/exponent)` per
+    /// partition (1.0 for idle partitions).
+    pub fn performance_fractions(&self, budget: Watts, perf_exponent: f64) -> Vec<Ratio> {
+        assert!(
+            perf_exponent.is_finite() && perf_exponent >= 1.0,
+            "DVFS exponent must be finite and >= 1"
+        );
+        self.split_dynamic_budget(budget)
+            .iter()
+            .zip(&self.partitions)
+            .map(|(b, p)| {
+                if p.demand() <= Watts::ZERO {
+                    Ratio::ONE
+                } else {
+                    let ratio = (*b / p.demand()).clamp(0.0, 1.0);
+                    Ratio::new(ratio.powf(1.0 / perf_exponent))
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for PartitionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partitions [")?;
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} ({}, {:.0})", p.name(), p.priority(), p.demand())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_tier_set() -> PartitionSet {
+        PartitionSet::new(vec![
+            VirtualPartition::new("batch", Priority(0), Watts::new(100.0)),
+            VirtualPartition::new("web", Priority(1), Watts::new(120.0)),
+            VirtualPartition::new("db", Priority(2), Watts::new(80.0)),
+        ])
+    }
+
+    #[test]
+    fn full_budget_serves_everyone() {
+        let set = three_tier_set();
+        let budgets = set.split_dynamic_budget(Watts::new(300.0));
+        assert_eq!(
+            budgets,
+            vec![Watts::new(100.0), Watts::new(120.0), Watts::new(80.0)]
+        );
+    }
+
+    #[test]
+    fn waterfall_order_is_priority_descending() {
+        let set = three_tier_set();
+        // 150 W: db (80) then web gets 70 of 120; batch gets nothing.
+        let budgets = set.split_dynamic_budget(Watts::new(150.0));
+        assert_eq!(budgets[2], Watts::new(80.0));
+        assert!(budgets[1].approx_eq(Watts::new(70.0), Watts::new(1e-9)));
+        assert_eq!(budgets[0], Watts::ZERO);
+    }
+
+    #[test]
+    fn equal_priority_shares_proportionally() {
+        let set = PartitionSet::new(vec![
+            VirtualPartition::new("a", Priority(1), Watts::new(100.0)),
+            VirtualPartition::new("b", Priority(1), Watts::new(300.0)),
+        ]);
+        let budgets = set.split_dynamic_budget(Watts::new(200.0));
+        assert!(budgets[0].approx_eq(Watts::new(50.0), Watts::new(1e-9)));
+        assert!(budgets[1].approx_eq(Watts::new(150.0), Watts::new(1e-9)));
+    }
+
+    #[test]
+    fn conservation() {
+        let set = three_tier_set();
+        for b in [0.0, 50.0, 150.0, 250.0, 400.0] {
+            let budgets = set.split_dynamic_budget(Watts::new(b));
+            let total: Watts = budgets.iter().sum();
+            let expected = Watts::new(b).min(set.total_demand());
+            assert!(
+                total.approx_eq(expected, Watts::new(1e-9)),
+                "budget {b}: split to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_priority_reports_to_plane() {
+        let mut set = three_tier_set();
+        assert_eq!(set.max_priority(), Some(Priority(2)));
+        set.remove("db").unwrap();
+        assert_eq!(set.max_priority(), Some(Priority(1)));
+        assert_eq!(set.remove("db"), None);
+        set.remove("web").unwrap();
+        set.remove("batch").unwrap();
+        assert_eq!(set.max_priority(), None);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn arrivals_and_departures() {
+        let mut set = PartitionSet::default();
+        set.push(VirtualPartition::new("j1", Priority(0), Watts::new(60.0)));
+        set.push(VirtualPartition::new("j2", Priority(3), Watts::new(90.0)));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_demand(), Watts::new(150.0));
+        let gone = set.remove("j1").unwrap();
+        assert_eq!(gone.demand(), Watts::new(60.0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn performance_fractions_respect_priority() {
+        let set = three_tier_set();
+        let perfs = set.performance_fractions(Watts::new(150.0), 3.0);
+        // db fully served; web at (70/120)^(1/3); batch dead.
+        assert_eq!(perfs[2], Ratio::ONE);
+        let expected = (70.0f64 / 120.0).powf(1.0 / 3.0);
+        assert!((perfs[1].as_f64() - expected).abs() < 1e-9);
+        assert_eq!(perfs[0], Ratio::ZERO);
+    }
+
+    #[test]
+    fn zero_demand_partition_is_unaffected() {
+        let set = PartitionSet::new(vec![VirtualPartition::new(
+            "idle",
+            Priority(0),
+            Watts::ZERO,
+        )]);
+        assert_eq!(set.split_dynamic_budget(Watts::new(10.0)), vec![Watts::ZERO]);
+        assert_eq!(set.performance_fractions(Watts::ZERO, 3.0), vec![Ratio::ONE]);
+    }
+
+    #[test]
+    fn display() {
+        let set = three_tier_set();
+        let s = set.to_string();
+        assert!(s.contains("db (P2, 80 W)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_demand_rejected() {
+        let _ = VirtualPartition::new("bad", Priority(0), Watts::new(-1.0));
+    }
+}

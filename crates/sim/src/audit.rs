@@ -1,0 +1,290 @@
+//! Active wiring audit: validating a declared power topology at runtime.
+//!
+//! The paper's §7 calls out that "wiring mistakes are possible when we
+//! connect servers to the power infrastructure … there is a need to
+//! develop a cost-effective approach to finding such errors (other than
+//! manual cable tracing)". This module implements such an approach over
+//! the simulation substrate: a **power perturbation probe**.
+//!
+//! For each server, the auditor briefly throttles it (a deep DC cap — the
+//! knob CapMaestro already owns), reads every metered distribution point
+//! before and after, and checks that exactly the declared ancestors of the
+//! server's outlets responded. A supply plugged into the wrong branch
+//! shows up as a response on an undeclared meter and silence on a declared
+//! one.
+
+use std::collections::HashMap;
+
+use capmaestro_core::plane::Farm;
+use capmaestro_topology::{FeedId, NodeId, ServerId, Topology};
+use capmaestro_units::Watts;
+
+/// Per-(feed, node) load for a farm wired according to `topology`: outlet
+/// loads pushed up each ancestor path. This is what the infrastructure's
+/// meters would read.
+pub fn node_loads(topology: &Topology, farm: &Farm) -> HashMap<(FeedId, NodeId), Watts> {
+    let mut loads: HashMap<(FeedId, NodeId), Watts> = HashMap::new();
+    for graph in topology.feeds() {
+        for (outlet_node, outlet) in graph.outlets() {
+            let Some(server) = farm.get(outlet.server) else {
+                continue;
+            };
+            let snap = server.sense();
+            let load = snap
+                .supply_ac
+                .get(outlet.supply.index())
+                .copied()
+                .unwrap_or(Watts::ZERO);
+            for node in graph.path_to_root(outlet_node) {
+                *loads.entry((graph.feed(), node)).or_insert(Watts::ZERO) += load;
+            }
+        }
+    }
+    loads
+}
+
+/// A detected wiring discrepancy for one server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WiringMismatch {
+    /// The server whose probe disagreed with the declared topology.
+    pub server: ServerId,
+    /// Metered points that the declared topology says should have
+    /// responded but did not (device names).
+    pub missing: Vec<String>,
+    /// Metered points that responded although the declared topology says
+    /// they should not have (device names).
+    pub unexpected: Vec<String>,
+}
+
+/// Outcome of a wiring audit.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Servers whose observed response set matched the declaration.
+    pub verified: Vec<ServerId>,
+    /// Servers with discrepancies.
+    pub mismatches: Vec<WiringMismatch>,
+}
+
+impl AuditReport {
+    /// Whether the declared topology survived the audit unchallenged.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Load change below this is measurement noise, not a response.
+const RESPONSE_THRESHOLD: Watts = Watts::new(5.0);
+
+/// Audits `declared` against the physical truth.
+///
+/// `actual` describes how the data center is *really* cabled (in a live
+/// deployment this is the physical world itself; here it is the topology
+/// the farm's meters answer for). The probe perturbs one server at a time:
+/// it forces the server's demand to idle, diffs every metered node, and
+/// compares the responding set against the declared ancestry. Servers are
+/// restored to their previous demand afterwards.
+///
+/// Only internal nodes carrying a limit (i.e. metered distribution points)
+/// participate in the comparison; outlet leaves are excluded since a leaf
+/// meter would make the audit trivial.
+pub fn audit_wiring(declared: &Topology, actual: &Topology, farm: &mut Farm) -> AuditReport {
+    let mut report = AuditReport::default();
+    let servers: Vec<ServerId> = farm.iter().map(|(id, _)| id).collect();
+
+    for server in servers {
+        // Expected responders: metered ancestors per the declaration.
+        let mut expected: Vec<(FeedId, String)> = Vec::new();
+        for (feed, node, _) in declared.supply_attachments(server) {
+            let graph = declared.feed(feed).expect("declared feed");
+            for ancestor in graph.path_to_root(node) {
+                let device = graph.device(ancestor);
+                if device.effective_limit().is_some() {
+                    expected.push((feed, device.name().to_string()));
+                }
+            }
+        }
+        expected.sort();
+        expected.dedup();
+
+        // Probe: drop the server to idle, observe the metered deltas on
+        // the *actual* wiring.
+        let baseline = node_loads(actual, farm);
+        let (prev_demand, was_powered) = {
+            let srv = farm.get_mut(server).expect("probed server exists");
+            let prev = srv.offered_demand();
+            let powered = srv.is_powered();
+            srv.set_offered_demand(srv.config().model().idle());
+            srv.settle();
+            (prev, powered)
+        };
+        let probed = node_loads(actual, farm);
+        {
+            let srv = farm.get_mut(server).expect("probed server exists");
+            srv.set_offered_demand(prev_demand);
+            srv.set_powered(was_powered);
+            srv.settle();
+        }
+
+        let mut observed: Vec<(FeedId, String)> = Vec::new();
+        for (key @ (feed, node), base) in &baseline {
+            let graph = actual.feed(*feed).expect("actual feed");
+            if graph.device(*node).effective_limit().is_none() {
+                continue;
+            }
+            let after = probed.get(key).copied().unwrap_or(Watts::ZERO);
+            if (*base - after).as_f64().abs() >= RESPONSE_THRESHOLD.as_f64() {
+                observed.push((*feed, graph.device(*node).name().to_string()));
+            }
+        }
+        observed.sort();
+        observed.dedup();
+
+        let missing: Vec<String> = expected
+            .iter()
+            .filter(|e| !observed.contains(e))
+            .map(|(_, n)| n.clone())
+            .collect();
+        let unexpected: Vec<String> = observed
+            .iter()
+            .filter(|o| !expected.contains(o))
+            .map(|(_, n)| n.clone())
+            .collect();
+        if missing.is_empty() && unexpected.is_empty() {
+            report.verified.push(server);
+        } else {
+            report.mismatches.push(WiringMismatch {
+                server,
+                missing,
+                unexpected,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{stranded_rig, RigConfig};
+    use capmaestro_topology::builder::TopologyBuilder;
+    use capmaestro_topology::presets::figure7a_rig;
+    use capmaestro_topology::{DeviceKind, Phase, PowerDevice, Priority, SupplyIndex};
+
+    #[test]
+    fn correct_wiring_audits_clean() {
+        let rig = stranded_rig(RigConfig::table3());
+        let declared = rig.topology.clone();
+        let mut farm = rig.farm;
+        let report = audit_wiring(&declared, &declared, &mut farm);
+        assert!(report.is_clean(), "mismatches: {:?}", report.mismatches);
+        assert_eq!(report.verified.len(), 4);
+    }
+
+    /// Miswire SC's Y-side cord onto the left breaker (it belongs on the
+    /// right): the audit must flag SC and only SC.
+    #[test]
+    fn detects_single_miswired_cord() {
+        let rig = stranded_rig(RigConfig::table3());
+        let declared = rig.topology.clone();
+        let mut farm = rig.farm;
+
+        // Build the *actual* (miswired) topology from scratch: identical
+        // except SC's SECOND supply lands under "Y Left CB".
+        let mut b = TopologyBuilder::new();
+        let mut lefts = Vec::new();
+        let mut rights = Vec::new();
+        for feed in [FeedId::A, FeedId::B] {
+            let label = if feed == FeedId::A { "X" } else { "Y" };
+            let root = b.add_feed(
+                feed,
+                PowerDevice::new(format!("{label} Top CB"), DeviceKind::Virtual)
+                    .with_extra_limit(Watts::new(1400.0)),
+            );
+            lefts.push(
+                b.add_node(
+                    feed,
+                    root,
+                    PowerDevice::new(format!("{label} Left CB"), DeviceKind::Virtual)
+                        .with_extra_limit(Watts::new(750.0)),
+                )
+                .unwrap(),
+            );
+            rights.push(
+                b.add_node(
+                    feed,
+                    root,
+                    PowerDevice::new(format!("{label} Right CB"), DeviceKind::Virtual)
+                        .with_extra_limit(Watts::new(750.0)),
+                )
+                .unwrap(),
+            );
+        }
+        let sa = b.add_server("SA", Priority::HIGH);
+        let sb = b.add_server("SB", Priority::LOW);
+        let sc = b.add_server("SC", Priority::LOW);
+        let sd = b.add_server("SD", Priority::LOW);
+        b.attach(sa, SupplyIndex::FIRST, FeedId::A, lefts[0], Phase::L1)
+            .unwrap();
+        b.attach(sb, SupplyIndex::FIRST, FeedId::B, lefts[1], Phase::L1)
+            .unwrap();
+        b.attach(sc, SupplyIndex::FIRST, FeedId::A, rights[0], Phase::L1)
+            .unwrap();
+        // THE MISTAKE: SC's Y cord on the LEFT breaker.
+        b.attach(sc, SupplyIndex::SECOND, FeedId::B, lefts[1], Phase::L1)
+            .unwrap();
+        b.attach(sd, SupplyIndex::FIRST, FeedId::A, rights[0], Phase::L1)
+            .unwrap();
+        b.attach(sd, SupplyIndex::SECOND, FeedId::B, rights[1], Phase::L1)
+            .unwrap();
+        let actual = b.build().unwrap();
+
+        let report = audit_wiring(&declared, &actual, &mut farm);
+        assert_eq!(report.mismatches.len(), 1, "{:?}", report.mismatches);
+        let m = &report.mismatches[0];
+        assert_eq!(m.server, sc);
+        assert!(m.missing.contains(&"Y Right CB".to_string()), "{m:?}");
+        assert!(m.unexpected.contains(&"Y Left CB".to_string()), "{m:?}");
+        assert_eq!(report.verified.len(), 3);
+    }
+
+    #[test]
+    fn probe_restores_server_state() {
+        let rig = stranded_rig(RigConfig::table3());
+        let declared = rig.topology.clone();
+        let mut farm = rig.farm;
+        let before: Vec<f64> = farm
+            .iter()
+            .map(|(_, s)| s.offered_demand().as_f64())
+            .collect();
+        let _ = audit_wiring(&declared, &declared, &mut farm);
+        let after: Vec<f64> = farm
+            .iter()
+            .map(|(_, s)| s.offered_demand().as_f64())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn node_loads_match_engine_accounting() {
+        let topo = figure7a_rig();
+        let rig = stranded_rig(RigConfig::table3());
+        let farm = rig.farm;
+        let loads = node_loads(&topo, &farm);
+        // The X top CB carries the X-side loads of SA, SC, SD.
+        let x_root = topo.feed(FeedId::A).unwrap().root().unwrap();
+        let x_top = loads[&(FeedId::A, x_root)];
+        let expected: f64 = farm
+            .iter()
+            .map(|(_, s)| {
+                let snap = s.sense();
+                snap.supply_ac[0].as_f64()
+            })
+            .sum::<f64>()
+            - farm
+                .iter()
+                .nth(1) // SB is Y-side only
+                .map(|(_, s)| s.sense().supply_ac[0].as_f64())
+                .unwrap();
+        assert!((x_top.as_f64() - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,733 @@
+//! The time-stepped simulation engine.
+//!
+//! Advances the world at 1 Hz: servers draw power with node-manager
+//! settling, the control plane senses every second and re-budgets every
+//! control period, breaker thermal models integrate stress, and scripted
+//! [`Event`]s inject failures or workload changes. Everything observable is
+//! recorded into a [`Trace`] for the figure-regeneration harnesses.
+
+use std::collections::HashMap;
+
+use capmaestro_core::plane::{ControlPlane, Farm};
+use capmaestro_server::Server;
+use capmaestro_topology::{BreakerSim, BreakerState, FeedId, NodeId, Phase, ServerId, SupplyIndex, Topology};
+use capmaestro_units::{Seconds, Watts};
+
+use crate::scenarios::Rig;
+
+/// Engine timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Seconds between control rounds (8 in the paper).
+    pub control_period_s: u64,
+    /// Whether the control plane runs at all. Disabling it simulates a
+    /// data center *without* power capping — the baseline whose breakers
+    /// trip during failures (the counterfactual behind Fig. 9's
+    /// no-capping bar).
+    pub control_enabled: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            control_period_s: 8,
+            control_enabled: true,
+        }
+    }
+}
+
+/// A scripted event applied at a scheduled simulation second.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A whole power feed dies: its control trees are dropped and every
+    /// supply on it fails over to the survivors.
+    FailFeed(FeedId),
+    /// Replace the per-tree root budgets (order matches the plane's
+    /// remaining trees).
+    SetRootBudgets(Vec<Watts>),
+    /// Change one server's offered demand.
+    SetDemand(ServerId, Watts),
+    /// Change one server's priority (the job-scheduler hook of §7).
+    SetPriority(ServerId, capmaestro_topology::Priority),
+    /// Fail a single power supply of one server (the load shifts to its
+    /// siblings; §3.1's second cause of feed imbalance).
+    FailSupply(ServerId, SupplyIndex),
+    /// Put a supply into (or out of) cold standby — the hot-spare mode of
+    /// §3.1 \[34\].
+    SetStandby(ServerId, SupplyIndex, bool),
+    /// A failed feed returns to service: its control trees resume, the
+    /// supplies on it are repaired, and servers that went dark power back
+    /// up.
+    RestoreFeed(FeedId),
+}
+
+/// Everything the engine recorded, one sample per simulated second.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Total AC power per server.
+    pub server_power: HashMap<ServerId, Vec<f64>>,
+    /// Per-supply AC power.
+    pub supply_power: HashMap<(ServerId, SupplyIndex), Vec<f64>>,
+    /// Power-cap throttling level per server.
+    pub throttle: HashMap<ServerId, Vec<f64>>,
+    /// DC cap commanded per server (carried forward between rounds).
+    pub dc_cap: HashMap<ServerId, Vec<f64>>,
+    /// Load at every limited distribution node, keyed by `(feed, node)`.
+    pub node_load: HashMap<(FeedId, NodeId), Vec<f64>>,
+    /// Human-readable names for the recorded nodes.
+    pub node_names: HashMap<(FeedId, NodeId), String>,
+    /// Breaker trip events: `(second, feed, node name)`.
+    pub trips: Vec<(u64, FeedId, String)>,
+    /// Servers that lost all input power: `(second, server)`.
+    pub lost_servers: Vec<(u64, ServerId)>,
+    /// Stranded power reclaimed per control round: `(second, watts)`.
+    pub stranded: Vec<(u64, f64)>,
+    /// Seconds simulated.
+    pub seconds: u64,
+}
+
+impl Trace {
+    /// The recorded series for a node found by device name (first match
+    /// across feeds).
+    pub fn node_series(&self, name: &str) -> Option<&[f64]> {
+        let key = self
+            .node_names
+            .iter()
+            .find(|(_, n)| n.as_str() == name)?
+            .0;
+        self.node_load.get(key).map(|v| v.as_slice())
+    }
+
+    /// The recorded series for a node found by feed and device name.
+    pub fn node_series_on(&self, feed: FeedId, name: &str) -> Option<&[f64]> {
+        let key = self
+            .node_names
+            .iter()
+            .find(|((f, _), n)| *f == feed && n.as_str() == name)?
+            .0;
+        self.node_load.get(key).map(|v| v.as_slice())
+    }
+
+    /// Energy one server consumed over the trace, in watt-hours.
+    pub fn server_energy_wh(&self, server: ServerId) -> f64 {
+        self.server_power
+            .get(&server)
+            .map(|s| s.iter().sum::<f64>() / 3600.0)
+            .unwrap_or(0.0)
+    }
+
+    /// Total energy the fleet consumed over the trace, in watt-hours.
+    pub fn total_energy_wh(&self) -> f64 {
+        self.server_power
+            .values()
+            .map(|s| s.iter().sum::<f64>() / 3600.0)
+            .sum()
+    }
+
+    /// Mean of the last `n` samples of a series.
+    pub fn tail_mean(series: &[f64], n: usize) -> f64 {
+        if series.is_empty() {
+            return 0.0;
+        }
+        let n = n.min(series.len());
+        series[series.len() - n..].iter().sum::<f64>() / n as f64
+    }
+}
+
+/// The time-stepped simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_sim::engine::Engine;
+/// use capmaestro_sim::scenarios::{priority_rig, RigConfig};
+///
+/// let rig = priority_rig(RigConfig::table2());
+/// let mut engine = Engine::new(rig);
+/// let trace = engine.run(120);
+/// assert_eq!(trace.seconds, 120);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    topology: Topology,
+    farm: Farm,
+    plane: ControlPlane,
+    config: EngineConfig,
+    breakers: Vec<((FeedId, NodeId, Phase), BreakerSim)>,
+    events: Vec<(u64, Event)>,
+    time_s: u64,
+    trace: Trace,
+    last_caps: HashMap<ServerId, f64>,
+}
+
+impl Engine {
+    /// Creates an engine over a rig with default timing.
+    pub fn new(rig: Rig) -> Self {
+        Engine::with_config(rig, EngineConfig::default())
+    }
+
+    /// Creates an engine with explicit timing.
+    pub fn with_config(rig: Rig, config: EngineConfig) -> Self {
+        let Rig {
+            topology,
+            farm,
+            plane,
+        } = rig;
+        // One thermal model per (breaker, phase) that actually carries
+        // outlets of that phase.
+        let mut breakers = Vec::new();
+        for graph in topology.feeds() {
+            // Phases present under each node.
+            let mut phases: HashMap<NodeId, [bool; 3]> = HashMap::new();
+            for (outlet_node, outlet) in graph.outlets() {
+                for node in graph.path_to_root(outlet_node) {
+                    phases.entry(node).or_default()[outlet.phase.index()] = true;
+                }
+            }
+            for node in graph.iter() {
+                if let Some(cb) = graph.device(node).breaker() {
+                    let present = phases.get(&node).copied().unwrap_or_default();
+                    for phase in Phase::ALL {
+                        if present[phase.index()] {
+                            breakers.push((
+                                (graph.feed(), node, phase),
+                                BreakerSim::new(*cb),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Engine {
+            topology,
+            farm,
+            plane,
+            config,
+            breakers,
+            events: Vec::new(),
+            time_s: 0,
+            trace: Trace::default(),
+            last_caps: HashMap::new(),
+        }
+    }
+
+    /// Schedules an event at an absolute simulation second.
+    pub fn schedule(&mut self, at_s: u64, event: Event) -> &mut Self {
+        self.events.push((at_s, event));
+        self.events.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// The farm (e.g. for post-run inspection).
+    pub fn farm(&self) -> &Farm {
+        &self.farm
+    }
+
+    /// The control plane.
+    pub fn plane(&self) -> &ControlPlane {
+        &self.plane
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn apply_event(&mut self, event: Event) {
+        match event {
+            Event::FailFeed(feed) => {
+                self.plane.fail_feed(feed);
+                // Fail every supply plugged into the dead feed. A server
+                // whose *last* working supply was on that feed goes dark.
+                let attachments: Vec<(ServerId, SupplyIndex)> = self
+                    .topology
+                    .feed(feed)
+                    .map(|g| {
+                        g.outlets()
+                            .map(|(_, o)| (o.server, o.supply))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for (server, supply) in attachments {
+                    if let Some(srv) = self.farm.get_mut(server) {
+                        let bank = srv.bank_mut();
+                        if bank.working_count() > 1 {
+                            bank.fail_supply(supply.index());
+                        } else {
+                            srv.set_powered(false);
+                            self.trace.lost_servers.push((self.time_s, server));
+                        }
+                    }
+                }
+            }
+            Event::SetRootBudgets(budgets) => {
+                self.plane.set_root_budgets(budgets);
+            }
+            Event::SetDemand(server, demand) => {
+                if let Some(srv) = self.farm.get_mut(server) {
+                    srv.set_offered_demand(demand);
+                }
+            }
+            Event::SetPriority(server, priority) => {
+                self.plane.set_priority(server, priority);
+            }
+            Event::FailSupply(server, supply) => {
+                if let Some(srv) = self.farm.get_mut(server) {
+                    let bank = srv.bank_mut();
+                    if bank.working_count() > 1 {
+                        bank.fail_supply(supply.index());
+                    } else {
+                        srv.set_powered(false);
+                        self.trace.lost_servers.push((self.time_s, server));
+                    }
+                }
+            }
+            Event::SetStandby(server, supply, standby) => {
+                if let Some(srv) = self.farm.get_mut(server) {
+                    srv.bank_mut().set_standby(supply.index(), standby);
+                }
+            }
+            Event::RestoreFeed(feed) => {
+                self.plane.restore_feed(feed);
+                let attachments: Vec<(ServerId, SupplyIndex)> = self
+                    .topology
+                    .feed(feed)
+                    .map(|g| {
+                        g.outlets()
+                            .map(|(_, o)| (o.server, o.supply))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for (server, supply) in attachments {
+                    if let Some(srv) = self.farm.get_mut(server) {
+                        srv.bank_mut().repair_supply(supply.index());
+                        if !srv.is_powered() {
+                            srv.set_powered(true);
+                        }
+                    }
+                }
+                // Breakers on the restored feed start cool and closed.
+                for ((f, _, _), sim) in &mut self.breakers {
+                    if *f == feed {
+                        sim.reset();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-(feed, node, phase) load right now: the sum of supply powers at
+    /// outlet descendants, kept per phase because breaker ratings are
+    /// per phase. Computed by pushing each outlet's load up its path.
+    fn node_loads(&self) -> HashMap<(FeedId, NodeId, Phase), Watts> {
+        let mut loads: HashMap<(FeedId, NodeId, Phase), Watts> = HashMap::new();
+        for graph in self.topology.feeds() {
+            for (outlet_node, outlet) in graph.outlets() {
+                let Some(server) = self.farm.get(outlet.server) else {
+                    continue;
+                };
+                let snap = server.sense();
+                let load = snap
+                    .supply_ac
+                    .get(outlet.supply.index())
+                    .copied()
+                    .unwrap_or(Watts::ZERO);
+                for node in graph.path_to_root(outlet_node) {
+                    *loads
+                        .entry((graph.feed(), node, outlet.phase))
+                        .or_insert(Watts::ZERO) += load;
+                }
+            }
+        }
+        loads
+    }
+
+    fn record(&mut self, loads: &HashMap<(FeedId, NodeId, Phase), Watts>) {
+        for (id, server) in self.farm.iter() {
+            let snap = server.sense();
+            self.trace
+                .server_power
+                .entry(id)
+                .or_default()
+                .push(snap.total_ac.as_f64());
+            self.trace
+                .throttle
+                .entry(id)
+                .or_default()
+                .push(snap.throttle.as_f64());
+            for (i, p) in snap.supply_ac.iter().enumerate() {
+                self.trace
+                    .supply_power
+                    .entry((id, SupplyIndex(i as u8)))
+                    .or_default()
+                    .push(p.as_f64());
+            }
+            let cap = self.last_caps.get(&id).copied().unwrap_or(f64::NAN);
+            self.trace.dc_cap.entry(id).or_default().push(cap);
+        }
+        for graph in self.topology.feeds() {
+            for node in graph.iter() {
+                if graph.device(node).effective_limit().is_none() {
+                    continue;
+                }
+                let key = (graph.feed(), node);
+                // Displayed load aggregates the phases; safety checks use
+                // the per-phase values against the per-phase ratings.
+                let load: Watts = Phase::ALL
+                    .iter()
+                    .filter_map(|&p| loads.get(&(graph.feed(), node, p)))
+                    .copied()
+                    .sum();
+                self.trace
+                    .node_load
+                    .entry(key)
+                    .or_default()
+                    .push(load.as_f64());
+                self.trace
+                    .node_names
+                    .entry(key)
+                    .or_insert_with(|| graph.device(node).name().to_string());
+            }
+        }
+    }
+
+    /// Runs the simulation for `seconds`, returning the accumulated trace.
+    /// May be called repeatedly to continue a run.
+    pub fn run(&mut self, seconds: u64) -> Trace {
+        for _ in 0..seconds {
+            // Apply due events.
+            while let Some((t, _)) = self.events.first() {
+                if *t > self.time_s {
+                    break;
+                }
+                let (_, event) = self.events.remove(0);
+                self.apply_event(event);
+            }
+
+            // Sense (1 Hz) and control (every period).
+            self.plane.record_sample(&self.farm);
+            if self.config.control_enabled && self.time_s.is_multiple_of(self.config.control_period_s) {
+                let report = self.plane.run_round(&mut self.farm);
+                for (id, cap) in &report.dc_caps {
+                    self.last_caps.insert(*id, cap.as_f64());
+                }
+                self.trace
+                    .stranded
+                    .push((self.time_s, report.stranded_reclaimed.as_f64()));
+            }
+
+            // Physics. Each breaker's thermal model runs on its own
+            // phase's load (ratings are per phase).
+            self.farm.step_all(Seconds::new(1.0));
+            let loads = self.node_loads();
+            let mut tripped_now: Vec<(FeedId, NodeId, Phase)> = Vec::new();
+            for ((feed, node, phase), sim) in &mut self.breakers {
+                let load = loads
+                    .get(&(*feed, *node, *phase))
+                    .copied()
+                    .unwrap_or(Watts::ZERO);
+                let before = sim.state();
+                let after = sim.step(load, Seconds::new(1.0));
+                if before == BreakerState::Closed && after == BreakerState::Tripped {
+                    self.trace.trips.push((
+                        self.time_s,
+                        *feed,
+                        format!(
+                            "{} {phase}",
+                            self.topology
+                                .feed(*feed)
+                                .map(|g| g.device(*node).name().to_string())
+                                .unwrap_or_default()
+                        ),
+                    ));
+                    tripped_now.push((*feed, *node, *phase));
+                }
+            }
+            // A tripped breaker interrupts downstream delivery: every
+            // outlet of that phase beneath it loses its supply; a server
+            // whose last working supply died goes dark (§2.1's
+            // "downstream power delivery is interrupted, potentially
+            // causing server power outage").
+            for (feed, node, phase) in tripped_now.drain(..) {
+                let victims: Vec<(ServerId, SupplyIndex)> = self
+                    .topology
+                    .feed(feed)
+                    .map(|g| {
+                        g.outlets()
+                            .filter(|(outlet_node, o)| {
+                                o.phase == phase
+                                    && g.path_to_root(*outlet_node).contains(&node)
+                            })
+                            .map(|(_, o)| (o.server, o.supply))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for (server, supply) in victims {
+                    if let Some(srv) = self.farm.get_mut(server) {
+                        let bank = srv.bank_mut();
+                        if bank.working_count() > 1 {
+                            bank.fail_supply(supply.index());
+                        } else {
+                            srv.set_powered(false);
+                            self.trace.lost_servers.push((self.time_s, server));
+                        }
+                    }
+                }
+            }
+
+            // Record.
+            self.record(&loads);
+            self.time_s += 1;
+            self.trace.seconds = self.time_s;
+        }
+        self.trace.clone()
+    }
+
+    /// Runs one control round immediately (outside the 1 Hz loop) and
+    /// returns its decisions — handy for reading converged steady-state
+    /// budgets after [`Engine::run`].
+    pub fn run_control_round(&mut self) -> capmaestro_core::plane::RoundReport {
+        self.plane.record_sample(&self.farm);
+        self.plane.run_round(&mut self.farm)
+    }
+
+    /// Immutable view of everything recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Direct access to a server for assertions.
+    pub fn server(&self, id: ServerId) -> Option<&Server> {
+        self.farm.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{priority_rig, stranded_rig, RigConfig};
+    use capmaestro_core::policy::PolicyKind;
+
+    #[test]
+    fn priority_rig_reaches_table2_steady_state() {
+        let rig = priority_rig(RigConfig::table2());
+        let sa = rig.server("SA");
+        let sb = rig.server("SB");
+        let mut engine = Engine::new(rig);
+        let trace = engine.run(160);
+
+        // SA (high priority) ends near its full 420 W demand.
+        let sa_power = Trace::tail_mean(&trace.server_power[&sa], 20);
+        assert!(
+            (sa_power - 420.0).abs() < 8.0,
+            "SA steady power {sa_power}"
+        );
+        // SB is throttled toward Pcap_min.
+        let sb_power = Trace::tail_mean(&trace.server_power[&sb], 20);
+        assert!(sb_power < 290.0, "SB steady power {sb_power}");
+        // Top CB load stays within the 1240 W budget (small transient
+        // overshoot allowed).
+        let top = trace.node_series("Top CB").expect("top CB recorded");
+        let top_tail = Trace::tail_mean(top, 20);
+        assert!(top_tail <= 1245.0, "top CB load {top_tail}");
+    }
+
+    #[test]
+    fn no_breaker_trips_in_rig_runs() {
+        let rig = priority_rig(RigConfig::table2());
+        let mut engine = Engine::new(rig);
+        let trace = engine.run(200);
+        assert!(trace.trips.is_empty());
+    }
+
+    #[test]
+    fn demand_change_event_tracked() {
+        let rig = priority_rig(RigConfig::table2());
+        let sb = rig.server("SB");
+        let mut engine = Engine::new(rig);
+        engine.schedule(60, Event::SetDemand(sb, Watts::new(200.0)));
+        let trace = engine.run(150);
+        let sb_power = Trace::tail_mean(&trace.server_power[&sb], 20);
+        assert!(
+            (sb_power - 200.0).abs() < 10.0,
+            "SB should settle at its new 200 W demand, got {sb_power}"
+        );
+    }
+
+    #[test]
+    fn feed_failure_shifts_load_and_keeps_feeds_safe() {
+        let config = RigConfig::table3().with_policy(PolicyKind::GlobalPriority);
+        let rig = stranded_rig(config);
+        let sc = rig.server("SC");
+        let mut engine = Engine::new(rig);
+        // At t=80 the Y side (feed B) dies; the X side inherits the full
+        // 1400 W contractual budget.
+        engine.schedule(80, Event::FailFeed(FeedId::B));
+        engine.schedule(80, Event::SetRootBudgets(vec![Watts::new(1400.0)]));
+        let trace = engine.run(240);
+
+        // SC's Y-side supply carries nothing after the failure.
+        let y_supply = &trace.supply_power[&(sc, SupplyIndex::SECOND)];
+        assert!(y_supply[239] < 1.0, "Y supply still loaded: {}", y_supply[239]);
+        // And its X-side supply carries the whole server.
+        let x_supply = &trace.supply_power[&(sc, SupplyIndex::FIRST)];
+        let total = &trace.server_power[&sc];
+        assert!((x_supply[239] - total[239]).abs() < 1.0);
+        assert!(trace.trips.is_empty());
+    }
+
+    #[test]
+    fn stranded_power_reclaimed_only_with_spo() {
+        let with = {
+            let rig = stranded_rig(RigConfig::table3().with_spo(true));
+            let mut engine = Engine::new(rig);
+            let trace = engine.run(60);
+            trace.stranded.iter().map(|(_, w)| *w).sum::<f64>()
+        };
+        let without = {
+            let rig = stranded_rig(RigConfig::table3().with_spo(false));
+            let mut engine = Engine::new(rig);
+            let trace = engine.run(60);
+            trace.stranded.iter().map(|(_, w)| *w).sum::<f64>()
+        };
+        assert!(with > 1.0, "SPO should find stranded power, got {with}");
+        assert_eq!(without, 0.0);
+    }
+
+    #[test]
+    fn trace_node_lookup() {
+        let rig = stranded_rig(RigConfig::table3());
+        let mut engine = Engine::new(rig);
+        let trace = engine.run(10);
+        assert!(trace.node_series_on(FeedId::A, "X Top CB").is_some());
+        assert!(trace.node_series_on(FeedId::B, "Y Top CB").is_some());
+        assert!(trace.node_series("nonexistent").is_none());
+        assert_eq!(trace.seconds, 10);
+    }
+
+    #[test]
+    fn single_supply_failure_shifts_load_and_stays_budgeted() {
+        // SC loses its X-side supply at t=60: its Y-side supply picks up
+        // the whole server and the controller keeps the Y feed safe.
+        let rig = stranded_rig(RigConfig::table3());
+        let sc = rig.server("SC");
+        let mut engine = Engine::new(rig);
+        engine.schedule(60, Event::FailSupply(sc, SupplyIndex::FIRST));
+        let trace = engine.run(240);
+        let x = &trace.supply_power[&(sc, SupplyIndex::FIRST)];
+        let y = &trace.supply_power[&(sc, SupplyIndex::SECOND)];
+        assert!(x[239] < 0.5, "failed supply still loaded: {}", x[239]);
+        assert!(y[239] > 200.0, "survivor should carry the server: {}", y[239]);
+        // The Y feed budget (700 W) is still respected at steady state.
+        let y_top = trace
+            .node_series_on(FeedId::B, "Y Top CB")
+            .expect("Y top recorded");
+        assert!(Trace::tail_mean(y_top, 20) <= 700.0 * 1.02);
+        assert!(trace.trips.is_empty());
+    }
+
+    #[test]
+    fn hot_spare_standby_consolidates_load() {
+        // SD's second supply goes to cold standby at t=60 (hot-spare mode):
+        // the first supply carries everything; leaving standby restores
+        // the split.
+        let rig = stranded_rig(RigConfig::table3());
+        let sd = rig.server("SD");
+        let mut engine = Engine::new(rig);
+        engine.schedule(60, Event::SetStandby(sd, SupplyIndex::SECOND, true));
+        engine.schedule(150, Event::SetStandby(sd, SupplyIndex::SECOND, false));
+        let trace = engine.run(230);
+        let first = &trace.supply_power[&(sd, SupplyIndex::FIRST)];
+        let second = &trace.supply_power[&(sd, SupplyIndex::SECOND)];
+        // During standby the second supply draws nothing.
+        assert!(second[140] < 0.5, "standby supply loaded: {}", second[140]);
+        let total_during = first[140] + second[140];
+        assert!(total_during > 200.0);
+        // After reactivation the intrinsic 46/54 split returns.
+        let share_after = second[229] / (first[229] + second[229]);
+        assert!(
+            (share_after - 0.54).abs() < 0.02,
+            "split after reactivation: {share_after}"
+        );
+        assert!(trace.trips.is_empty());
+    }
+
+    #[test]
+    fn feed_failure_and_repair_round_trip() {
+        // Feed B dies at t=60 and is repaired at t=200. SB (Y-only) goes
+        // dark and must come back; SC/SD's split must return to normal;
+        // the Y-side trees must budget again.
+        let rig = stranded_rig(RigConfig::table3());
+        let sb = rig.server("SB");
+        let sc = rig.server("SC");
+        let mut engine = Engine::new(rig);
+        engine.schedule(60, Event::FailFeed(FeedId::B));
+        engine.schedule(200, Event::RestoreFeed(FeedId::B));
+        let trace = engine.run(340);
+
+        // SB dark during the outage, alive again afterwards.
+        assert!(trace.server_power[&sb][150] < 1.0, "SB should be dark");
+        let sb_after = Trace::tail_mean(&trace.server_power[&sb], 20);
+        assert!(
+            sb_after > 300.0,
+            "SB should recover after the repair, got {sb_after:.0}"
+        );
+        assert_eq!(trace.lost_servers, vec![(60, sb)]);
+
+        // SC's Y-side supply carries load again at the end.
+        let y = &trace.supply_power[&(sc, SupplyIndex::SECOND)];
+        assert!(y[150] < 1.0);
+        assert!(y[339] > 100.0, "SC Y supply should resume: {}", y[339]);
+
+        // Both trees are budgeting again.
+        assert_eq!(engine.plane().trees().len(), 2);
+        assert!(trace.trips.is_empty());
+    }
+
+    #[test]
+    fn dynamic_priority_promotion_shifts_power() {
+        // SB starts low priority and capped; a scheduler promotes it to
+        // P2 (above SA's P1) at t=80 — its power must rise toward demand
+        // while SA yields.
+        let rig = priority_rig(RigConfig::table2());
+        let sa = rig.server("SA");
+        let sb = rig.server("SB");
+        let mut engine = Engine::new(rig);
+        engine.schedule(
+            80,
+            Event::SetPriority(sb, capmaestro_topology::Priority(2)),
+        );
+        let trace = engine.run(200);
+        let sb_before = Trace::tail_mean(&trace.server_power[&sb][..80], 10);
+        let sb_after = Trace::tail_mean(&trace.server_power[&sb], 20);
+        assert!(sb_before < 300.0, "SB should start capped: {sb_before}");
+        assert!(
+            sb_after > 400.0,
+            "promoted SB should approach its 413 W demand: {sb_after}"
+        );
+        let sa_after = Trace::tail_mean(&trace.server_power[&sa], 20);
+        assert!(sa_after < 300.0, "demoted-by-comparison SA should yield: {sa_after}");
+    }
+
+    #[test]
+    fn tail_mean_edge_cases() {
+        assert_eq!(Trace::tail_mean(&[], 5), 0.0);
+        assert_eq!(Trace::tail_mean(&[2.0, 4.0], 5), 3.0);
+        assert_eq!(Trace::tail_mean(&[1.0, 2.0, 3.0, 4.0], 2), 3.5);
+    }
+
+    #[test]
+    fn energy_accounting() {
+        let rig = priority_rig(RigConfig::table2());
+        let sa = rig.server("SA");
+        let mut engine = Engine::new(rig);
+        let trace = engine.run(3600); // one hour
+        // SA runs at ~420 W all hour ⇒ ~420 Wh.
+        let sa_wh = trace.server_energy_wh(sa);
+        assert!((sa_wh - 420.0).abs() < 15.0, "SA energy {sa_wh:.0} Wh");
+        // Fleet total ≤ budget × 1 h.
+        let total = trace.total_energy_wh();
+        assert!(total <= 1240.0 * 1.02, "total {total:.0} Wh");
+        assert_eq!(trace.server_energy_wh(ServerId(99)), 0.0);
+    }
+}

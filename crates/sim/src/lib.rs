@@ -1,0 +1,34 @@
+//! Data-center simulation for CapMaestro.
+//!
+//! Three layers:
+//!
+//! - [`engine`] — a 1 Hz time-stepped simulation binding the server farm,
+//!   the control plane, breaker thermal models, and scripted events
+//!   (feed failures, demand changes). Produces the time series behind the
+//!   paper's Figs. 5, 6b, and 7c.
+//! - [`scenarios`] — ready-to-run builds of the paper's experimental rigs
+//!   (the §6.2 four-server feed, the §6.3 stranded-power rig, the §6.4
+//!   Table 4 data center).
+//! - [`capacity`] — the §6.4 Monte-Carlo capacity planner: how many
+//!   servers fit under each policy in typical and worst-case conditions,
+//!   judged by the <1 % average cap-ratio criterion.
+//!
+//! [`audit`] implements an active wiring audit (a §7 open challenge) and
+//! [`report`] holds the table/series formatting shared by the experiment
+//! binaries in `capmaestro-bench`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod audit;
+pub mod capacity;
+pub mod engine;
+pub mod jobs;
+pub mod report;
+pub mod scenarios;
+
+pub use audit::{audit_wiring, AuditReport, WiringMismatch};
+pub use capacity::{CapacityConfig, CapacityPlanner, Condition, TrialStats};
+pub use engine::{Engine, EngineConfig, Event, Trace};
+pub use jobs::{Job, JobSchedule};
+pub use scenarios::{Rig, RigConfig};

@@ -1,0 +1,124 @@
+//! Property-based tests for the simulation layer.
+
+use proptest::prelude::*;
+
+use capmaestro_core::policy::PolicyKind;
+use capmaestro_server::ServerPowerModel;
+use capmaestro_sim::capacity::{CapacityConfig, CapacityPlanner, Condition};
+use capmaestro_sim::engine::{Engine, Event};
+use capmaestro_sim::jobs::{Job, JobSchedule};
+use capmaestro_sim::scenarios::{priority_rig, RigConfig};
+use capmaestro_topology::presets::DataCenterParams;
+use capmaestro_topology::{Priority, ServerId};
+use capmaestro_units::Watts;
+
+fn tiny_config(seed: u64) -> CapacityConfig {
+    CapacityConfig {
+        dc: DataCenterParams {
+            racks: 4,
+            transformers_per_feed: 1,
+            rpps_per_transformer: 2,
+            cdus_per_rpp: 2,
+            ..DataCenterParams::default()
+        },
+        contractual_per_phase: Watts::from_kilowatts(700.0 * 4.0 / 162.0),
+        worst_trials: 3,
+        typical_reps_per_bin: 1,
+        seed,
+        ..CapacityConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The capacity planner is deterministic for a fixed seed.
+    #[test]
+    fn planner_deterministic(seed in 0u64..1000, spr in 6usize..30) {
+        let a = CapacityPlanner::new(tiny_config(seed))
+            .evaluate(spr, PolicyKind::GlobalPriority, Condition::WorstCase);
+        let b = CapacityPlanner::new(tiny_config(seed))
+            .evaluate(spr, PolicyKind::GlobalPriority, Condition::WorstCase);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cap ratios are always valid fractions, and global priority never
+    /// caps high-priority servers more than no-priority does.
+    #[test]
+    fn cap_ratio_sanity(seed in 0u64..200, spr in 6usize..45) {
+        let planner = CapacityPlanner::new(tiny_config(seed));
+        let global = planner.evaluate(spr, PolicyKind::GlobalPriority, Condition::WorstCase);
+        let none = planner.evaluate(spr, PolicyKind::NoPriority, Condition::WorstCase);
+        for s in [&global, &none] {
+            prop_assert!((0.0..=1.0).contains(&s.cap_ratio_all));
+            prop_assert!((0.0..=1.0).contains(&s.cap_ratio_high));
+        }
+        prop_assert!(
+            global.cap_ratio_high <= none.cap_ratio_high + 1e-9,
+            "global {} vs none {}",
+            global.cap_ratio_high,
+            none.cap_ratio_high
+        );
+    }
+
+    /// Compiled job events never produce demands outside the model
+    /// envelope and always pair demand with priority per edge.
+    #[test]
+    fn job_compilation_is_well_formed(
+        jobs in prop::collection::vec(
+            (0u64..500, 1u64..200, 0.0f64..1.0, 0u8..3, 0u32..6),
+            1..30,
+        ),
+    ) {
+        let mut schedule = JobSchedule::new();
+        for (i, (start, dur, util, pri, srv)) in jobs.iter().enumerate() {
+            schedule.assign(
+                ServerId(*srv),
+                Job::new(format!("j{i}"), Priority(*pri), *util, *start, start + dur),
+            );
+        }
+        let model = ServerPowerModel::paper_default();
+        let events = schedule.compile(model);
+        let mut demands = 0usize;
+        let mut priorities = 0usize;
+        for (_, event) in &events {
+            match event {
+                Event::SetDemand(_, d) => {
+                    demands += 1;
+                    prop_assert!(*d >= model.idle() && *d <= model.cap_max());
+                }
+                Event::SetPriority(..) => priorities += 1,
+                _ => prop_assert!(false, "unexpected event kind"),
+            }
+        }
+        prop_assert_eq!(demands, priorities);
+        // Events are sorted by time.
+        prop_assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    /// However demands move around, the engine keeps the Fig. 2 rig inside
+    /// its contractual budget at steady state.
+    #[test]
+    fn engine_budget_invariant_under_random_demands(
+        demands in prop::collection::vec(160.0f64..490.0, 4),
+        change_at in 20u64..60,
+    ) {
+        let rig = priority_rig(RigConfig::table2());
+        let ids: Vec<ServerId> = ["SA", "SB", "SC", "SD"]
+            .iter()
+            .map(|n| rig.server(n))
+            .collect();
+        let mut engine = Engine::new(rig);
+        for (id, d) in ids.iter().zip(&demands) {
+            engine.schedule(change_at, Event::SetDemand(*id, Watts::new(*d)));
+        }
+        let trace = engine.run(change_at + 120);
+        let total: f64 = trace
+            .server_power
+            .values()
+            .map(|s| *s.last().unwrap())
+            .sum();
+        prop_assert!(total <= 1240.0 * 1.02, "total {total}");
+        prop_assert!(trace.trips.is_empty());
+    }
+}

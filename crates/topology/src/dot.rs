@@ -1,0 +1,114 @@
+//! Graphviz (DOT) export of a power topology.
+//!
+//! The paper's §7 notes "there are no common tools for expressing the
+//! physical power topology"; a renderable export is the least a power
+//! manager can offer its operators. [`to_dot`] emits one cluster per feed,
+//! labelling every device with its effective limit and every outlet with
+//! the server name, supply, and phase.
+
+use std::fmt::Write as _;
+
+use crate::device::DeviceKind;
+use crate::topo::Topology;
+
+/// Renders the topology as a Graphviz digraph (`dot -Tsvg` ready).
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_topology::presets::figure2_feed;
+/// use capmaestro_topology::dot::to_dot;
+///
+/// let dot = to_dot(&figure2_feed());
+/// assert!(dot.starts_with("digraph power_topology"));
+/// assert!(dot.contains("Top CB"));
+/// assert!(dot.contains("SA"));
+/// ```
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str("digraph power_topology {\n");
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    for graph in topo.feeds() {
+        let feed = graph.feed();
+        let _ = writeln!(out, "  subgraph cluster_feed{} {{", feed.index());
+        let _ = writeln!(out, "    label=\"{feed}\";");
+        for node in graph.iter() {
+            let device = graph.device(node);
+            let id = format!("f{}n{}", feed.index(), node.index());
+            let label = match graph.outlet(node) {
+                Some(outlet) => {
+                    let server = topo
+                        .server(outlet.server)
+                        .map(|s| s.name().to_string())
+                        .unwrap_or_else(|| outlet.server.to_string());
+                    format!(
+                        "{server} {} ({}, {})",
+                        outlet.supply,
+                        outlet.phase,
+                        topo.server(outlet.server)
+                            .map(|s| s.priority().to_string())
+                            .unwrap_or_default()
+                    )
+                }
+                None => match device.effective_limit() {
+                    Some(limit) => format!("{}\\n{:.0}", device.name(), limit),
+                    None => device.name().to_string(),
+                },
+            };
+            let shape = match device.kind() {
+                DeviceKind::Outlet => ", shape=ellipse",
+                DeviceKind::Transformer => ", shape=house",
+                _ => "",
+            };
+            let _ = writeln!(out, "    {id} [label=\"{label}\"{shape}];");
+        }
+        for node in graph.iter() {
+            for &child in graph.children(node) {
+                let _ = writeln!(
+                    out,
+                    "    f{0}n{1} -> f{0}n{2};",
+                    feed.index(),
+                    node.index(),
+                    child.index()
+                );
+            }
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{figure2_feed, figure7a_rig};
+
+    #[test]
+    fn fig2_export_structure() {
+        let dot = to_dot(&figure2_feed());
+        assert!(dot.starts_with("digraph power_topology {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("subgraph cluster_feed0"));
+        // 1 root + 2 CBs + 4 outlets = 7 nodes; 6 edges.
+        assert_eq!(dot.matches("->").count(), 6);
+        for name in ["Top CB", "Left CB", "Right CB", "SA", "SB", "SC", "SD"] {
+            assert!(dot.contains(name), "missing {name}");
+        }
+        // Limits rendered.
+        assert!(dot.contains("1400 W"));
+        assert!(dot.contains("750 W"));
+    }
+
+    #[test]
+    fn dual_feed_export_has_two_clusters() {
+        let dot = to_dot(&figure7a_rig());
+        assert!(dot.contains("cluster_feed0"));
+        assert!(dot.contains("cluster_feed1"));
+        // SC appears in both feeds (dual-corded).
+        assert!(dot.matches("SC PS").count() >= 2);
+        // Outlets carry phases and priorities.
+        assert!(dot.contains("L1"));
+        assert!(dot.contains("P1"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for topology construction and validation.
+
+use core::fmt;
+
+use crate::device::{FeedId, SupplyIndex};
+use crate::graph::NodeId;
+use crate::topo::ServerId;
+
+/// Errors raised while building or validating a [`crate::Topology`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A referenced node does not exist in the feed's graph.
+    UnknownNode {
+        /// The feed searched.
+        feed: FeedId,
+        /// The missing node.
+        node: NodeId,
+    },
+    /// A referenced feed does not exist.
+    UnknownFeed {
+        /// The missing feed.
+        feed: FeedId,
+    },
+    /// A referenced server does not exist.
+    UnknownServer {
+        /// The missing server.
+        server: ServerId,
+    },
+    /// An outlet was attached beneath a node that already has an outlet.
+    OutletNotLeaf {
+        /// The node in question.
+        node: NodeId,
+    },
+    /// A server supply was attached twice.
+    DuplicateSupply {
+        /// The server.
+        server: ServerId,
+        /// The supply index attached twice.
+        supply: SupplyIndex,
+    },
+    /// A server has no supply attachment at all.
+    UnpoweredServer {
+        /// The server without any supply.
+        server: ServerId,
+    },
+    /// The graph has no limit anywhere on a root-to-leaf path, so budgets
+    /// would be unbounded.
+    UnboundedPath {
+        /// The feed with the unbounded path.
+        feed: FeedId,
+        /// The leaf node terminating the unbounded path.
+        leaf: NodeId,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode { feed, node } => {
+                write!(f, "node {node:?} does not exist in {feed}")
+            }
+            TopologyError::UnknownFeed { feed } => {
+                write!(f, "{feed} does not exist in the topology")
+            }
+            TopologyError::UnknownServer { server } => {
+                write!(f, "server {server:?} does not exist in the topology")
+            }
+            TopologyError::OutletNotLeaf { node } => {
+                write!(f, "node {node:?} carries an outlet and cannot have children")
+            }
+            TopologyError::DuplicateSupply { server, supply } => {
+                write!(f, "supply {supply} of server {server:?} is attached more than once")
+            }
+            TopologyError::UnpoweredServer { server } => {
+                write!(f, "server {server:?} has no power supply attachment")
+            }
+            TopologyError::UnboundedPath { feed, leaf } => {
+                write!(
+                    f,
+                    "no power limit exists on the path from the root of {feed} to leaf {leaf:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TopologyError::UnknownFeed { feed: FeedId::B };
+        assert_eq!(e.to_string(), "feed B does not exist in the topology");
+        let e = TopologyError::UnpoweredServer {
+            server: ServerId(7),
+        };
+        assert!(e.to_string().contains("no power supply"));
+        let e = TopologyError::DuplicateSupply {
+            server: ServerId(1),
+            supply: SupplyIndex::SECOND,
+        };
+        assert!(e.to_string().contains("PS2"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Power-distribution infrastructure substrate for CapMaestro.
+//!
+//! Models the physical side of a highly-available data center (paper §2.1):
+//! redundant utility feeds, automatic transfer switches, UPSes, transformers,
+//! remote power panels (RPPs), cabinet distribution units (CDUs), and the
+//! circuit breakers that protect each distribution point — including the
+//! UL-489-style inverse-time trip behaviour and the 80 % sustained-load
+//! derating rule (NFPA 70) that power capping relies on.
+//!
+//! The central type is [`Topology`]: a set of per-feed power-distribution
+//! trees ([`PowerGraph`]) plus the registry of servers attached to their
+//! outlets. A topology can be replicated per phase and feed into the
+//! *control-tree specifications* ([`ControlTreeSpec`]) that the
+//! `capmaestro-core` controllers mirror (paper §4.1: "our control trees
+//! mirror the physical electrical connections of the data center").
+//!
+//! # Example: the paper's Fig. 2 feed
+//!
+//! ```
+//! use capmaestro_topology::presets;
+//!
+//! let topo = presets::figure2_feed();
+//! assert_eq!(topo.server_count(), 4);
+//! let specs = topo.control_tree_specs();
+//! assert_eq!(specs.len(), 1); // one feed, all servers on one phase
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod breaker;
+pub mod builder;
+pub mod device;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod lint;
+pub mod presets;
+pub mod spec;
+mod topo;
+
+pub use breaker::{BreakerSim, BreakerState, CircuitBreaker, TripCurve};
+pub use builder::TopologyBuilder;
+pub use device::{DeviceKind, FeedId, Phase, PowerDevice, SupplyIndex};
+pub use error::TopologyError;
+pub use lint::{lint, LintWarning};
+pub use graph::{NodeId, OutletInfo, PowerGraph};
+pub use spec::{ControlTreeSpec, SpecLeaf, SpecNode};
+pub use topo::{Priority, ServerId, ServerInfo, Topology};

@@ -1,0 +1,321 @@
+//! Topology linting: oversubscription and balance diagnostics.
+//!
+//! [`Topology::validate`] rejects structurally broken topologies; this
+//! module reports *suspicious but legal* designs — the judgement calls a
+//! data-center designer reviews before energizing anything:
+//!
+//! - **oversubscription** at each distribution point (children's limits or
+//!   worst-case server draw exceeding the parent's limit) — expected under
+//!   power capping, but the factor should be deliberate;
+//! - **phase imbalance** among a feed's outlets;
+//! - **unmetered internal nodes** (no limit anywhere on a device that has
+//!   children), which the control tree cannot protect;
+//! - **single-corded servers** in an otherwise redundant center, which a
+//!   feed failure will black out.
+
+use core::fmt;
+
+use capmaestro_units::Watts;
+
+use crate::device::FeedId;
+use crate::graph::NodeId;
+use crate::topo::{ServerId, Topology};
+
+/// One finding from [`lint`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LintWarning {
+    /// A node's children can jointly demand more than its own limit.
+    Oversubscribed {
+        /// The feed.
+        feed: FeedId,
+        /// The constrained node.
+        node: NodeId,
+        /// Device name.
+        name: String,
+        /// The node's effective limit.
+        limit: Watts,
+        /// Sum of the children's effective limits (or their subtree sums
+        /// where unlimited).
+        downstream: Watts,
+    },
+    /// A feed's outlets are unevenly spread across phases.
+    PhaseImbalance {
+        /// The feed.
+        feed: FeedId,
+        /// Outlets per phase (L1, L2, L3).
+        counts: [usize; 3],
+    },
+    /// An internal device carries no limit and has no limited ancestor —
+    /// nothing protects it.
+    Unprotected {
+        /// The feed.
+        feed: FeedId,
+        /// The unprotected node.
+        node: NodeId,
+        /// Device name.
+        name: String,
+    },
+    /// A server has exactly one supply while others in the topology have
+    /// more — it will go dark if its feed fails.
+    SingleCorded {
+        /// The server.
+        server: ServerId,
+        /// Its display name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintWarning::Oversubscribed {
+                feed,
+                name,
+                limit,
+                downstream,
+                ..
+            } => write!(
+                f,
+                "{feed}: {name} limited to {limit:.0} but downstream can draw {downstream:.0} ({:.1}x oversubscribed)",
+                *downstream / *limit
+            ),
+            LintWarning::PhaseImbalance { feed, counts } => write!(
+                f,
+                "{feed}: phases loaded unevenly (L1 {} / L2 {} / L3 {} outlets)",
+                counts[0], counts[1], counts[2]
+            ),
+            LintWarning::Unprotected { feed, name, .. } => {
+                write!(f, "{feed}: {name} has no limit and no limited ancestor")
+            }
+            LintWarning::SingleCorded { name, .. } => write!(
+                f,
+                "server {name} is single-corded in a redundant topology"
+            ),
+        }
+    }
+}
+
+/// Lints a topology, returning all findings (empty = nothing suspicious).
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_topology::lint::lint;
+/// use capmaestro_topology::presets::figure2_feed;
+///
+/// let warnings = lint(&figure2_feed());
+/// // The Fig. 2 feed is deliberately oversubscribed (750 + 750 > 1400):
+/// // that is what power capping is for, and the lint points it out.
+/// assert!(warnings.iter().any(|w| w.to_string().contains("oversubscribed")));
+/// ```
+pub fn lint(topo: &Topology) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+
+    for graph in topo.feeds() {
+        // Downstream capability per node: sum of children's capabilities,
+        // where a node's own capability is min(own limit, children sum)
+        // and an outlet counts as unlimited (the server model bounds it —
+        // topology alone cannot know Pcap_max).
+        let n = graph.len();
+        let mut capability: Vec<Option<Watts>> = vec![None; n];
+        for node in graph.iter().collect::<Vec<_>>().into_iter().rev() {
+            let children = graph.children(node);
+            let child_sum: Option<Watts> = if children.is_empty() {
+                None // outlet or bare leaf: unknown from topology alone
+            } else {
+                children
+                    .iter()
+                    .map(|c| capability[c.index()])
+                    .try_fold(Watts::ZERO, |acc, c| c.map(|c| acc + c))
+            };
+            let own = graph.device(node).effective_limit();
+            if let (Some(limit), Some(downstream)) = (own, child_sum) {
+                if downstream > limit {
+                    warnings.push(LintWarning::Oversubscribed {
+                        feed: graph.feed(),
+                        node,
+                        name: graph.device(node).name().to_string(),
+                        limit,
+                        downstream,
+                    });
+                }
+            }
+            capability[node.index()] = match (own, child_sum) {
+                (Some(limit), Some(down)) => Some(limit.min(down)),
+                (Some(limit), None) => Some(limit),
+                (None, down) => down,
+            };
+        }
+
+        // Unprotected internal nodes: no limit on the node or any ancestor.
+        for node in graph.iter() {
+            if graph.children(node).is_empty() {
+                continue;
+            }
+            let protected = graph
+                .path_to_root(node)
+                .iter()
+                .any(|&a| graph.device(a).effective_limit().is_some());
+            if !protected {
+                warnings.push(LintWarning::Unprotected {
+                    feed: graph.feed(),
+                    node,
+                    name: graph.device(node).name().to_string(),
+                });
+            }
+        }
+
+        // Phase balance across the feed's outlets.
+        let mut counts = [0usize; 3];
+        for (_, outlet) in graph.outlets() {
+            counts[outlet.phase.index()] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        if max > 0 && max - min > max / 10 + 1 {
+            warnings.push(LintWarning::PhaseImbalance {
+                feed: graph.feed(),
+                counts,
+            });
+        }
+    }
+
+    // Single-corded servers in a redundant center.
+    let max_cords = topo
+        .servers()
+        .map(|(id, _)| topo.supply_count(id))
+        .max()
+        .unwrap_or(0);
+    if max_cords > 1 {
+        for (id, info) in topo.servers() {
+            if topo.supply_count(id) == 1 {
+                warnings.push(LintWarning::SingleCorded {
+                    server: id,
+                    name: info.name().to_string(),
+                });
+            }
+        }
+    }
+
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{figure2_feed, figure7a_rig, table4_datacenter, DataCenterParams};
+    use crate::Priority;
+
+    #[test]
+    fn figure2_is_clean_except_oversubscription_check() {
+        let warnings = lint(&figure2_feed());
+        // Left + Right CBs (750 + 750) exceed the top's 1400: flagged.
+        assert!(warnings.iter().any(|w| matches!(
+            w,
+            LintWarning::Oversubscribed { name, .. } if name == "Top CB"
+        )));
+        // All servers single-corded (uniformly): no single-corded warning.
+        assert!(!warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::SingleCorded { .. })));
+    }
+
+    #[test]
+    fn figure7a_flags_the_single_corded_servers() {
+        let warnings = lint(&figure7a_rig());
+        let singles: Vec<&LintWarning> = warnings
+            .iter()
+            .filter(|w| matches!(w, LintWarning::SingleCorded { .. }))
+            .collect();
+        // SA and SB have one cord each; SC/SD have two.
+        assert_eq!(singles.len(), 2);
+    }
+
+    #[test]
+    fn table4_oversubscription_factors() {
+        let params = DataCenterParams {
+            servers_per_rack: 36,
+            ..DataCenterParams::default()
+        };
+        let (topo, _) = table4_datacenter(&params, |_| Priority::LOW);
+        let warnings = lint(&topo);
+        // RPPs are oversubscribed by their CDUs (9 × 5.52 kW > 41.6 kW)
+        // and transformers by their RPPs — by design, since capping
+        // protects them. The lint must surface both.
+        assert!(warnings.iter().any(|w| matches!(
+            w,
+            LintWarning::Oversubscribed { name, .. } if name.contains("RPP")
+        )));
+        assert!(warnings.iter().any(|w| matches!(
+            w,
+            LintWarning::Oversubscribed { name, .. } if name.contains("TXF")
+        )));
+        // Round-robin placement balances phases: no imbalance warning.
+        assert!(!warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::PhaseImbalance { .. })));
+    }
+
+    #[test]
+    fn phase_imbalance_detected() {
+        use crate::builder::TopologyBuilder;
+        use crate::{DeviceKind, Phase, PowerDevice, SupplyIndex};
+        let mut b = TopologyBuilder::new();
+        let root = b.add_feed(
+            FeedId::A,
+            PowerDevice::new("root", DeviceKind::Virtual)
+                .with_extra_limit(Watts::new(10_000.0)),
+        );
+        // 9 servers all on phase L1.
+        for i in 0..9 {
+            let s = b.add_server(format!("s{i}"), Priority::LOW);
+            b.attach(s, SupplyIndex::FIRST, FeedId::A, root, Phase::L1)
+                .unwrap();
+        }
+        let topo = b.build().unwrap();
+        let warnings = lint(&topo);
+        assert!(warnings.iter().any(|w| matches!(
+            w,
+            LintWarning::PhaseImbalance { counts, .. } if counts[0] == 9
+        )));
+    }
+
+    #[test]
+    fn unprotected_node_detected() {
+        use crate::builder::TopologyBuilder;
+        use crate::{DeviceKind, Phase, PowerDevice, SupplyIndex};
+        let mut b = TopologyBuilder::new();
+        let root = b.add_feed(FeedId::A, PowerDevice::new("root", DeviceKind::UtilityFeed));
+        let mid = b
+            .add_node(FeedId::A, root, PowerDevice::new("bare", DeviceKind::Rpp))
+            .unwrap();
+        let limited = b
+            .add_node(
+                FeedId::A,
+                mid,
+                PowerDevice::new("cdu", DeviceKind::Cdu)
+                    .with_extra_limit(Watts::new(5_000.0)),
+            )
+            .unwrap();
+        let s = b.add_server("s", Priority::LOW);
+        b.attach(s, SupplyIndex::FIRST, FeedId::A, limited, Phase::L1)
+            .unwrap();
+        let topo = b.build().unwrap();
+        let warnings = lint(&topo);
+        // Both `root` and `bare` have children but no limit above them.
+        let unprotected: Vec<_> = warnings
+            .iter()
+            .filter(|w| matches!(w, LintWarning::Unprotected { .. }))
+            .collect();
+        assert_eq!(unprotected.len(), 2);
+    }
+
+    #[test]
+    fn warnings_display_cleanly() {
+        for w in lint(&figure7a_rig()) {
+            let s = w.to_string();
+            assert!(!s.is_empty());
+        }
+    }
+}

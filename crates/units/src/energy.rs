@@ -1,0 +1,192 @@
+//! The [`Energy`] quantity: power integrated over time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Sub};
+
+use crate::power::Watts;
+use crate::quantities::Seconds;
+
+/// Electrical energy in joules (watt-seconds).
+///
+/// Produced by integrating [`Watts`] over [`Seconds`]; consumed by energy
+/// accounting (the §7 discussion's provider/user energy-saving story needs
+/// per-server metering, which the simulation engine provides in this
+/// unit).
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_units::{Energy, Seconds, Watts};
+///
+/// let e = Watts::new(400.0) * Seconds::new(3600.0);
+/// assert_eq!(e, Energy::from_watt_hours(400.0));
+/// assert_eq!(e.as_kilowatt_hours(), 0.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy value from joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `j` is NaN.
+    #[inline]
+    pub const fn new(j: f64) -> Self {
+        debug_assert!(!j.is_nan(), "Energy::new called with NaN");
+        Energy(j)
+    }
+
+    /// Creates an energy value from watt-hours.
+    #[inline]
+    pub fn from_watt_hours(wh: f64) -> Self {
+        Energy::new(wh * 3600.0)
+    }
+
+    /// Creates an energy value from kilowatt-hours.
+    #[inline]
+    pub fn from_kilowatt_hours(kwh: f64) -> Self {
+        Energy::new(kwh * 3.6e6)
+    }
+
+    /// The value in joules.
+    #[inline]
+    pub fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// The value in watt-hours.
+    #[inline]
+    pub fn as_watt_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// The value in kilowatt-hours.
+    #[inline]
+    pub fn as_kilowatt_hours(self) -> f64 {
+        self.0 / 3.6e6
+    }
+
+    /// Mean power over a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `over` is zero.
+    pub fn mean_power(self, over: Seconds) -> Watts {
+        assert!(
+            over.as_f64() > 0.0,
+            "mean power over a zero duration is undefined"
+        );
+        Watts::new(self.0 / over.as_f64())
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let wh = self.as_watt_hours();
+        if wh.abs() >= 1000.0 {
+            write!(f, "{:.2} kWh", wh / 1000.0)
+        } else {
+            write!(f, "{wh:.1} Wh")
+        }
+    }
+}
+
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Energy {
+        Energy::new(self.as_f64() * rhs.as_f64())
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    #[inline]
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    #[inline]
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    #[inline]
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Div<Energy> for Energy {
+    /// Dividing energy by energy yields a dimensionless fraction.
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e = Energy::from_watt_hours(1.0);
+        assert_eq!(e.as_joules(), 3600.0);
+        assert_eq!(e.as_watt_hours(), 1.0);
+        assert_eq!(Energy::from_kilowatt_hours(1.0).as_watt_hours(), 1000.0);
+    }
+
+    #[test]
+    fn power_times_time() {
+        let e = Watts::new(250.0) * Seconds::new(60.0);
+        assert_eq!(e.as_joules(), 15_000.0);
+    }
+
+    #[test]
+    fn mean_power_roundtrip() {
+        let e = Watts::new(420.0) * Seconds::new(3600.0);
+        let p = e.mean_power(Seconds::new(3600.0));
+        assert!(p.approx_eq(Watts::new(420.0), Watts::new(1e-9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn mean_power_zero_duration_panics() {
+        let _ = Energy::new(1.0).mean_power(Seconds::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let mut e = Energy::new(100.0);
+        e += Energy::new(50.0);
+        assert_eq!(e, Energy::new(150.0));
+        assert_eq!(e - Energy::new(50.0), Energy::new(100.0));
+        assert_eq!(Energy::new(50.0) / Energy::new(100.0), 0.5);
+        let total: Energy = [Energy::new(1.0), Energy::new(2.0)].into_iter().sum();
+        assert_eq!(total, Energy::new(3.0));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Energy::from_watt_hours(420.0).to_string(), "420.0 Wh");
+        assert_eq!(Energy::from_watt_hours(19_100.0).to_string(), "19.10 kWh");
+    }
+}

@@ -1,0 +1,380 @@
+//! The [`Watts`] power quantity.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::quantities::Ratio;
+
+/// Electrical power in watts.
+///
+/// `Watts` is the workhorse quantity of the suite: breaker ratings, power
+/// budgets, demands, and measurements are all expressed in watts. The type
+/// supports addition/subtraction with itself, scaling by [`Ratio`] or `f64`,
+/// and division by another `Watts` (yielding a dimensionless `f64`).
+///
+/// Values may be negative in intermediate arithmetic (e.g. a controller
+/// error term); use [`Watts::clamp_non_negative`] where a physical power is
+/// required.
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_units::Watts;
+///
+/// let demand = Watts::new(430.0);
+/// let budget = Watts::new(350.0);
+/// let shortfall = demand - budget;
+/// assert_eq!(shortfall, Watts::new(80.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero watts.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates a power value from watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `w` is NaN. Power arithmetic is expected
+    /// to stay finite; a NaN here indicates a logic error upstream.
+    #[inline]
+    pub const fn new(w: f64) -> Self {
+        debug_assert!(!w.is_nan(), "Watts::new called with NaN");
+        Watts(w)
+    }
+
+    /// Creates a power value from kilowatts.
+    ///
+    /// ```
+    /// use capmaestro_units::Watts;
+    /// assert_eq!(Watts::from_kilowatts(6.9), Watts::new(6_900.0));
+    /// ```
+    #[inline]
+    pub fn from_kilowatts(kw: f64) -> Self {
+        Watts::new(kw * 1_000.0)
+    }
+
+    /// Returns the value in watts.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in kilowatts.
+    #[inline]
+    pub fn as_kilowatts(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Returns the smaller of two powers.
+    #[inline]
+    pub fn min(self, other: Watts) -> Watts {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Returns the larger of two powers.
+    #[inline]
+    pub fn max(self, other: Watts) -> Watts {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Clamps the power into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn clamp(self, lo: Watts, hi: Watts) -> Watts {
+        assert!(
+            lo.0 <= hi.0,
+            "Watts::clamp called with lo {lo} > hi {hi}"
+        );
+        Watts(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Clamps negative values to zero, leaving non-negative values intact.
+    ///
+    /// ```
+    /// use capmaestro_units::Watts;
+    /// assert_eq!((Watts::new(10.0) - Watts::new(25.0)).clamp_non_negative(),
+    ///            Watts::ZERO);
+    /// ```
+    #[inline]
+    pub fn clamp_non_negative(self) -> Watts {
+        if self.0 < 0.0 {
+            Watts::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// Subtracts, saturating at zero instead of going negative.
+    ///
+    /// Budget arithmetic frequently needs "whatever is left, but not less
+    /// than nothing"; this avoids sprinkling `clamp_non_negative` everywhere.
+    #[inline]
+    pub fn saturating_sub(self, other: Watts) -> Watts {
+        (self - other).clamp_non_negative()
+    }
+
+    /// Returns `true` if this power is within `tolerance` of `other`.
+    ///
+    /// Useful in control-loop settling checks ("within 5 % of the budget").
+    #[inline]
+    pub fn approx_eq(self, other: Watts, tolerance: Watts) -> bool {
+        (self.0 - other.0).abs() <= tolerance.0.abs()
+    }
+
+    /// Returns `true` if the value is finite (not infinite, not NaN).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Total ordering following IEEE 754 `totalOrder`, for sorting slices of
+    /// measurements.
+    #[inline]
+    pub fn total_cmp(&self, other: &Watts) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "{:.*} W", precision, self.0)
+        } else {
+            write!(f, "{:.1} W", self.0)
+        }
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    #[inline]
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    #[inline]
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    #[inline]
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Watts {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Watts) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Watts {
+    type Output = Watts;
+    #[inline]
+    fn neg(self) -> Watts {
+        Watts(-self.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+
+impl Mul<Watts> for f64 {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Watts {
+        Watts(self * rhs.0)
+    }
+}
+
+impl Mul<Ratio> for Watts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> Watts {
+        Watts(self.0 * rhs.as_f64())
+    }
+}
+
+impl Mul<Watts> for Ratio {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Watts {
+        Watts(self.as_f64() * rhs.0)
+    }
+}
+
+impl Div<f64> for Watts {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: f64) -> Watts {
+        Watts(self.0 / rhs)
+    }
+}
+
+impl Div<Ratio> for Watts {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Ratio) -> Watts {
+        Watts(self.0 / rhs.as_f64())
+    }
+}
+
+impl Div<Watts> for Watts {
+    /// Dividing power by power yields a dimensionless fraction.
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Watts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        iter.fold(Watts::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Watts> for Watts {
+    fn sum<I: Iterator<Item = &'a Watts>>(iter: I) -> Watts {
+        iter.copied().sum()
+    }
+}
+
+impl From<Watts> for f64 {
+    #[inline]
+    fn from(w: Watts) -> f64 {
+        w.as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let w = Watts::new(490.0);
+        assert_eq!(w.as_f64(), 490.0);
+        assert_eq!(w.as_kilowatts(), 0.49);
+        assert_eq!(Watts::from_kilowatts(0.49), w);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Watts::new(300.0);
+        let b = Watts::new(200.0);
+        assert_eq!(a + b, Watts::new(500.0));
+        assert_eq!(a - b, Watts::new(100.0));
+        assert_eq!(a * 2.0, Watts::new(600.0));
+        assert_eq!(2.0 * a, Watts::new(600.0));
+        assert_eq!(a / 2.0, Watts::new(150.0));
+        assert_eq!(a / b, 1.5);
+        assert_eq!(-a, Watts::new(-300.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut w = Watts::new(100.0);
+        w += Watts::new(50.0);
+        assert_eq!(w, Watts::new(150.0));
+        w -= Watts::new(25.0);
+        assert_eq!(w, Watts::new(125.0));
+    }
+
+    #[test]
+    fn ratio_scaling() {
+        let rating = Watts::new(750.0);
+        assert_eq!(rating * Ratio::new(0.8), Watts::new(600.0));
+        assert_eq!(Watts::new(600.0) / Ratio::new(0.8), Watts::new(750.0));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Watts::new(300.0);
+        let b = Watts::new(200.0);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(
+            Watts::new(900.0).clamp(Watts::new(270.0), Watts::new(490.0)),
+            Watts::new(490.0)
+        );
+        assert_eq!(
+            Watts::new(100.0).clamp(Watts::new(270.0), Watts::new(490.0)),
+            Watts::new(270.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp")]
+    fn clamp_inverted_bounds_panics() {
+        let _ = Watts::new(1.0).clamp(Watts::new(2.0), Watts::new(1.0));
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(
+            Watts::new(100.0).saturating_sub(Watts::new(130.0)),
+            Watts::ZERO
+        );
+        assert_eq!(
+            Watts::new(130.0).saturating_sub(Watts::new(100.0)),
+            Watts::new(30.0)
+        );
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let budget = Watts::new(200.0);
+        assert!(Watts::new(195.0).approx_eq(budget, Watts::new(10.0)));
+        assert!(!Watts::new(185.0).approx_eq(budget, Watts::new(10.0)));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let loads = [Watts::new(100.0), Watts::new(250.5), Watts::new(49.5)];
+        let total: Watts = loads.iter().sum();
+        assert_eq!(total, Watts::new(400.0));
+        let total2: Watts = loads.into_iter().sum();
+        assert_eq!(total2, Watts::new(400.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Watts::new(419.25)), "419.2 W");
+        assert_eq!(format!("{:.0}", Watts::new(419.25)), "419 W");
+    }
+
+    #[test]
+    fn total_cmp_sorts_mixed_values() {
+        let mut v = [Watts::new(3.0), Watts::new(-1.0), Watts::new(2.0)];
+        v.sort_by(Watts::total_cmp);
+        assert_eq!(v, [Watts::new(-1.0), Watts::new(2.0), Watts::new(3.0)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Workload substrate for CapMaestro.
+//!
+//! Three ingredients the paper's evaluation needs:
+//!
+//! - [`DiscreteDistribution`] and [`google_like_profile`] — the
+//!   fleet-average CPU-utilization distribution standing in for the Google
+//!   load profile of Fig. 8 (the published figure is a histogram without raw
+//!   data; ours matches its qualitative shape and is calibrated so the
+//!   typical-case capacity of Fig. 9 lands at the paper's value),
+//! - [`NormalSampler`] — seeded Gaussian jitter for per-server utilization
+//!   around the fleet average (§6.4 methodology),
+//! - [`WebServerModel`] — an Apache-HTTP-Server-like performance model
+//!   mapping achieved performance fraction to throughput and latency for
+//!   the testbed experiments (Figs. 6a and 7b),
+//! - [`Schedule`] — piecewise-constant time schedules for driving budgets
+//!   and demands in controller experiments (Fig. 5).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod distribution;
+pub mod diurnal;
+pub mod sampler;
+pub mod trace;
+pub mod webserver;
+
+pub use distribution::{google_like_profile, DiscreteDistribution};
+pub use diurnal::DiurnalPattern;
+pub use sampler::NormalSampler;
+pub use trace::Schedule;
+pub use webserver::WebServerModel;

@@ -1,0 +1,138 @@
+//! Seeded Gaussian sampling without external distribution crates.
+
+use rand::{Rng, RngExt};
+
+/// A Box–Muller normal sampler with fixed mean and standard deviation.
+///
+/// The §6.4 methodology varies "the CPU utilization of each server randomly
+/// around the average value using a normal distribution"; this sampler
+/// provides that jitter from any seeded [`rand::Rng`].
+///
+/// # Examples
+///
+/// ```
+/// use capmaestro_workload::NormalSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let sampler = NormalSampler::new(0.3, 0.1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let x = sampler.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalSampler {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl NormalSampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "standard deviation must be finite and non-negative"
+        );
+        NormalSampler { mean, std_dev }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one normal variate via the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+
+    /// Draws one variate clamped into `[lo, hi]` — utilization jitter must
+    /// stay a valid fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "invalid clamp range [{lo}, {hi}]");
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_statistics() {
+        let sampler = NormalSampler::new(0.3, 0.1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sampler.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 0.3).abs() < 0.005, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.005, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_returns_mean() {
+        let sampler = NormalSampler::new(0.42, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sampler.sample(&mut rng), 0.42);
+    }
+
+    #[test]
+    fn clamped_sampling_respects_bounds() {
+        let sampler = NormalSampler::new(0.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = sampler.sample_clamped(&mut rng, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let sampler = NormalSampler::new(0.5, 0.2);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn negative_std_rejected() {
+        let _ = NormalSampler::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = NormalSampler::new(0.25, 0.1);
+        assert_eq!(s.mean(), 0.25);
+        assert_eq!(s.std_dev(), 0.1);
+    }
+}

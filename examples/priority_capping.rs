@@ -1,0 +1,74 @@
+//! Priority-aware capping, end to end, on the distributed control plane.
+//!
+//! Simulates the paper's §6.2 rig — four web servers behind real breaker
+//! limits during a power emergency — twice: once through the synchronous
+//! control-plane service, once through the threaded rack-/room-worker
+//! deployment, and shows they reach the same steady state.
+//!
+//! ```text
+//! cargo run --example priority_capping
+//! ```
+
+use capmaestro::core::plane::Farm;
+use capmaestro::core::policy::PolicyKind;
+use capmaestro::core::tree::ControlTree;
+use capmaestro::core::workers::{shared_farm, WorkerDeployment};
+use capmaestro::server::{Server, ServerConfig};
+use capmaestro::sim::engine::{Engine, Trace};
+use capmaestro::sim::scenarios::{priority_rig, RigConfig};
+use capmaestro::topology::presets::RIG_SERVER_NAMES;
+use capmaestro::units::Watts;
+
+fn main() {
+    // --- Synchronous plane via the simulation engine ---------------------
+    let rig = priority_rig(RigConfig::table2());
+    let topo = rig.topology.clone();
+    let ids: Vec<_> = RIG_SERVER_NAMES.iter().map(|n| rig.server(n)).collect();
+    let mut engine = Engine::new(rig);
+    let trace = engine.run(150);
+
+    println!("synchronous control plane (global priority, 1240 W budget):");
+    for (name, id) in RIG_SERVER_NAMES.iter().zip(&ids) {
+        let power = Trace::tail_mean(&trace.server_power[id], 20);
+        let perf = engine.server(*id).expect("server").performance_fraction();
+        println!("  {name}: {power:.0} W, performance {perf}");
+    }
+
+    // --- Distributed rack/room workers -----------------------------------
+    let trees: Vec<ControlTree> = topo
+        .control_tree_specs()
+        .into_iter()
+        .map(ControlTree::new)
+        .collect();
+    let mut farm = Farm::new();
+    for (id, _) in topo.servers() {
+        let mut server = Server::new(ServerConfig::paper_default().single_corded());
+        server.set_offered_demand(Watts::new(420.0));
+        server.settle();
+        farm.insert(id, server);
+    }
+    let shared = shared_farm(farm);
+    let mut deployment = WorkerDeployment::spawn(
+        trees,
+        vec![Watts::new(1240.0)],
+        PolicyKind::GlobalPriority,
+        shared.clone(),
+        2, // two rack-worker threads
+    );
+    deployment.run_rounds(15, 8);
+    deployment.shutdown();
+
+    println!("\ndistributed rack/room workers (2 threads):");
+    let farm = shared.read();
+    let mut total = Watts::ZERO;
+    for (name, id) in RIG_SERVER_NAMES.iter().zip(&ids) {
+        let snap = farm.get(*id).expect("server").sense();
+        total += snap.total_ac;
+        println!(
+            "  {name}: {:.0}, performance {}",
+            snap.total_ac,
+            farm.get(*id).expect("server").performance_fraction()
+        );
+    }
+    println!("  total: {total:.0} (budget 1240 W)");
+}

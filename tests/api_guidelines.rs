@@ -1,0 +1,59 @@
+//! API-guideline conformance checks (Rust API Guidelines):
+//! C-SEND-SYNC (types are Send/Sync where possible), C-GOOD-ERR (error
+//! types implement `Error + Send + Sync + 'static`), C-DEBUG (public types
+//! implement Debug with non-empty output).
+
+use std::error::Error;
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_error<T: Error + Send + Sync + 'static>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send_sync::<capmaestro::units::Watts>();
+    assert_send_sync::<capmaestro::units::Ratio>();
+    assert_send_sync::<capmaestro::units::Energy>();
+    assert_send_sync::<capmaestro::topology::Topology>();
+    assert_send_sync::<capmaestro::topology::ControlTreeSpec>();
+    assert_send_sync::<capmaestro::topology::CircuitBreaker>();
+    assert_send_sync::<capmaestro::server::Server>();
+    assert_send_sync::<capmaestro::server::PartitionSet>();
+    assert_send_sync::<capmaestro::core::ControlTree>();
+    assert_send_sync::<capmaestro::core::PriorityMetrics>();
+    assert_send_sync::<capmaestro::core::CappingController>();
+    assert_send_sync::<capmaestro::core::Allocation>();
+    assert_send_sync::<capmaestro::core::ControlPlane>();
+    assert_send_sync::<capmaestro::core::Farm>();
+    assert_send_sync::<capmaestro::sim::Engine>();
+    assert_send_sync::<capmaestro::sim::Trace>();
+    assert_send_sync::<capmaestro::sim::CapacityPlanner>();
+    assert_send_sync::<capmaestro::sim::JobSchedule>();
+    assert_send_sync::<capmaestro::workload::DiscreteDistribution>();
+    assert_send_sync::<capmaestro::workload::DiurnalPattern>();
+}
+
+#[test]
+fn error_types_are_well_behaved() {
+    assert_error::<capmaestro::topology::TopologyError>();
+    assert_error::<capmaestro::units::InvalidFractionError>();
+}
+
+#[test]
+fn debug_representations_are_never_empty() {
+    use capmaestro::units::{Ratio, Watts};
+    assert!(!format!("{:?}", Watts::ZERO).is_empty());
+    assert!(!format!("{:?}", Ratio::ONE).is_empty());
+    assert!(!format!("{:?}", capmaestro::topology::Priority::HIGH).is_empty());
+    assert!(!format!("{:?}", capmaestro::core::PriorityMetrics::empty()).is_empty());
+    let topo = capmaestro::topology::presets::figure2_feed();
+    assert!(!format!("{topo:?}").is_empty());
+}
+
+#[test]
+fn display_messages_are_lowercase_without_trailing_punctuation() {
+    // C-GOOD-ERR: "lowercase without trailing punctuation".
+    let err = capmaestro::units::Ratio::try_new_fraction(2.0).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.chars().next().unwrap().is_lowercase());
+    assert!(!msg.ends_with('.'));
+}

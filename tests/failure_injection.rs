@@ -1,0 +1,120 @@
+//! Failure-injection integration tests: the redundancy story of §2.1/§6.3.
+//!
+//! The safety contract: when a feed dies, the surviving feed's breakers see
+//! (up to) doubled load; UL 489 gives the control plane a ≥30 s window at
+//! 160 % overload, and capping must bring the load back under the limits
+//! before any breaker trips.
+
+use capmaestro::core::policy::PolicyKind;
+use capmaestro::sim::engine::{Engine, Event, Trace};
+use capmaestro::sim::scenarios::{stranded_rig, RigConfig};
+use capmaestro::topology::{FeedId, SupplyIndex};
+use capmaestro::units::Watts;
+
+fn failover_engine(policy: PolicyKind) -> (Engine, Vec<capmaestro::topology::ServerId>) {
+    let rig = stranded_rig(RigConfig::table3().with_policy(policy));
+    let ids = ["SA", "SB", "SC", "SD"]
+        .iter()
+        .map(|n| rig.server(n))
+        .collect();
+    let mut engine = Engine::new(rig);
+    engine.schedule(60, Event::FailFeed(FeedId::B));
+    engine.schedule(60, Event::SetRootBudgets(vec![Watts::new(1400.0)]));
+    (engine, ids)
+}
+
+#[test]
+fn feed_failure_is_survived_without_trips() {
+    let (mut engine, _) = failover_engine(PolicyKind::GlobalPriority);
+    let trace = engine.run(300);
+    assert!(
+        trace.trips.is_empty(),
+        "breakers tripped during failover: {:?}",
+        trace.trips
+    );
+}
+
+#[test]
+fn failed_feed_carries_no_load() {
+    let (mut engine, ids) = failover_engine(PolicyKind::GlobalPriority);
+    let trace = engine.run(300);
+    // Every Y-side (feed B) supply of the dual-corded servers reads zero.
+    for &id in &ids[2..] {
+        let y = &trace.supply_power[&(id, SupplyIndex::SECOND)];
+        assert!(y[299] < 0.5, "Y-side supply of {id} still loaded: {}", y[299]);
+    }
+    // The Y top breaker, if recorded, carries nothing after the failure.
+    if let Some(y_top) = trace.node_series_on(FeedId::B, "Y Top CB") {
+        assert!(y_top[299] < 1.0, "Y feed still loaded: {}", y_top[299]);
+    }
+}
+
+#[test]
+fn high_priority_server_rides_through_failure() {
+    let (mut engine, ids) = failover_engine(PolicyKind::GlobalPriority);
+    let trace = engine.run(300);
+    let sa = ids[0];
+    // SA (X-side, high priority) keeps its full demand (~414 W) before
+    // and after the Y-feed failure.
+    let before = Trace::tail_mean(&trace.server_power[&sa][..60], 10);
+    let after = Trace::tail_mean(&trace.server_power[&sa], 20);
+    assert!((before - 414.0).abs() < 8.0, "SA before failure: {before:.1}");
+    assert!((after - 414.0).abs() < 8.0, "SA after failure: {after:.1}");
+    let perf = engine.server(sa).unwrap().performance_fraction();
+    assert!(
+        perf.as_f64() > 0.98,
+        "high-priority performance dropped to {perf} after failover"
+    );
+}
+
+#[test]
+fn surviving_feed_respects_contractual_budget() {
+    let (mut engine, _) = failover_engine(PolicyKind::GlobalPriority);
+    let trace = engine.run(300);
+    let x_top = trace
+        .node_series_on(FeedId::A, "X Top CB")
+        .expect("X top CB recorded");
+    // Steady state after failover: within the 1400 W contractual budget.
+    let steady = Trace::tail_mean(x_top, 30);
+    assert!(steady <= 1400.0 * 1.01, "X feed at {steady:.0} W exceeds budget");
+    // And the 30 s UL 489 window is respected: by t = 60 + 30 the load is
+    // back under the limit.
+    for (t, &load) in x_top.iter().enumerate().skip(95) {
+        assert!(
+            load <= 1400.0 * 1.05,
+            "X feed above limit at t={t}: {load:.0} W"
+        );
+    }
+}
+
+#[test]
+fn dual_corded_servers_keep_running_through_failure() {
+    let (mut engine, ids) = failover_engine(PolicyKind::GlobalPriority);
+    let trace = engine.run(300);
+    for &id in &ids[2..] {
+        let power = &trace.server_power[&id];
+        for (t, &p) in power.iter().enumerate() {
+            assert!(
+                p >= 150.0,
+                "server {id} lost power at t={t}: {p:.0} W"
+            );
+        }
+    }
+}
+
+#[test]
+fn demand_spike_after_failover_stays_capped() {
+    let (mut engine, ids) = failover_engine(PolicyKind::GlobalPriority);
+    // After the failover settles, every server spikes to maximum demand.
+    for &id in &ids {
+        engine.schedule(150, Event::SetDemand(id, Watts::new(490.0)));
+    }
+    let trace = engine.run(400);
+    assert!(trace.trips.is_empty(), "trips: {:?}", trace.trips);
+    let x_top = trace.node_series_on(FeedId::A, "X Top CB").unwrap();
+    let steady = Trace::tail_mean(x_top, 30);
+    assert!(
+        steady <= 1400.0 * 1.01,
+        "X feed at {steady:.0} W exceeds the contractual budget after the spike"
+    );
+}

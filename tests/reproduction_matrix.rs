@@ -1,0 +1,64 @@
+//! The flagship reproduction test: Fig. 9's headline numbers at full
+//! Table 4 scale, asserted exactly.
+//!
+//! These are the values the whole paper argues toward. The typical-case
+//! number (6318 for every policy) and the worst-case No Priority (3888)
+//! and Global Priority (5832) anchors reproduce exactly; our Local
+//! Priority variant lands one rack-step above the paper's (5022 vs 4860),
+//! which the assertions bound rather than pin (see EXPERIMENTS.md).
+
+use capmaestro::core::policy::PolicyKind;
+use capmaestro::sim::capacity::{CapacityConfig, CapacityPlanner, Condition};
+
+fn planner() -> CapacityPlanner {
+    CapacityPlanner::new(CapacityConfig {
+        worst_trials: 10,
+        typical_reps_per_bin: 1,
+        ..CapacityConfig::default()
+    })
+}
+
+#[test]
+fn fig9_worst_case_no_priority_is_3888() {
+    let n = planner().max_deployable(PolicyKind::NoPriority, Condition::WorstCase);
+    assert_eq!(n, 3888, "paper: 3888");
+}
+
+#[test]
+fn fig9_worst_case_global_priority_is_5832() {
+    let n = planner().max_deployable(PolicyKind::GlobalPriority, Condition::WorstCase);
+    assert_eq!(n, 5832, "paper: 5832 (+50% over no capping)");
+}
+
+#[test]
+fn fig9_worst_case_local_priority_between_anchors() {
+    let n = planner().max_deployable(PolicyKind::LocalPriority, Condition::WorstCase);
+    assert!(
+        (4860..=5184).contains(&n),
+        "paper: 4860; ours lands at {n} (one rack step of tolerance)"
+    );
+}
+
+#[test]
+fn fig9_typical_case_is_6318_for_all_policies() {
+    let planner = planner();
+    for policy in PolicyKind::ALL {
+        let n = planner.max_deployable(policy, Condition::Typical);
+        assert_eq!(n, 6318, "paper: 6318 for {policy}");
+    }
+}
+
+#[test]
+fn fig10_global_high_priority_stays_uncapped_through_5832() {
+    let planner = planner();
+    let stats = planner.evaluate(36, PolicyKind::GlobalPriority, Condition::WorstCase);
+    assert!(
+        stats.cap_ratio_high < 1e-6,
+        "high-priority cap ratio at 5832 servers should be zero, got {}",
+        stats.cap_ratio_high
+    );
+    // And all-server cap ratios are identical across policies at this
+    // density (total shed power is policy-independent).
+    let none = planner.evaluate(36, PolicyKind::NoPriority, Condition::WorstCase);
+    assert!((stats.cap_ratio_all - none.cap_ratio_all).abs() < 0.01);
+}
