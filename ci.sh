@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lints, as run before every merge.
+#
+#   ./ci.sh          # build + tests + clippy
+#   ./ci.sh --bench  # also run the parallel_scale throughput bench
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--bench" ]]; then
+    cargo run --release -p capmaestro-bench --bin parallel_scale
+fi
+
+echo "ci: ok"

@@ -1,0 +1,158 @@
+//! Hot-path throughput measurement for the parallel simulation engine.
+//!
+//! Times the engine's per-second loop (fused step+sense sweep, load
+//! accumulation, breaker checks, trace recording, control rounds) on the
+//! Table 4-style data center at three sizes and several farm thread
+//! counts, then reports servers simulated per wall-clock second. Results
+//! are also written to `BENCH_dcsim.json` so CI can track regressions.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin parallel_scale \
+//!     [-- --seconds N --warmup N --out PATH]
+//! ```
+//!
+//! The JSON includes `host_cpus`: on a single-core host the parallel
+//! configurations cannot beat the sequential baseline, and the numbers
+//! are reported as measured rather than extrapolated.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use capmaestro_bench::{banner, Args};
+use capmaestro_sim::engine::Engine;
+use capmaestro_sim::report::Table;
+use capmaestro_sim::scenarios::{datacenter_rig, DataCenterRigConfig};
+use capmaestro_topology::presets::DataCenterParams;
+use capmaestro_units::Watts;
+
+/// One (size, threads) measurement.
+struct Sample {
+    servers: usize,
+    threads: usize,
+    sim_seconds: u64,
+    wall_ms: f64,
+    servers_per_sec: f64,
+}
+
+fn config_for(racks: usize, rpp: usize, cdus: usize) -> DataCenterRigConfig {
+    DataCenterRigConfig {
+        params: DataCenterParams {
+            racks,
+            transformers_per_feed: 2,
+            rpps_per_transformer: rpp,
+            cdus_per_rpp: cdus,
+            servers_per_rack: 32,
+            ..DataCenterParams::default()
+        },
+        contractual_per_phase: Watts::from_kilowatts(700.0 * racks as f64 / 162.0) * 0.95,
+        utilization: 0.9,
+        ..DataCenterRigConfig::default()
+    }
+}
+
+fn measure(
+    racks: usize,
+    rpp: usize,
+    cdus: usize,
+    threads: usize,
+    warmup_s: u64,
+    sim_s: u64,
+) -> Sample {
+    let config = config_for(racks, rpp, cdus);
+    let mut engine = Engine::new(datacenter_rig(&config));
+    engine.set_parallelism(threads);
+    let servers = engine.farm().len();
+    engine.run(warmup_s);
+    let start = Instant::now();
+    engine.run(sim_s);
+    let wall = start.elapsed().as_secs_f64();
+    Sample {
+        servers,
+        threads,
+        sim_seconds: sim_s,
+        wall_ms: wall * 1000.0,
+        servers_per_sec: servers as f64 * sim_s as f64 / wall,
+    }
+}
+
+fn render_json(samples: &[Sample], host_cpus: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"dcsim_parallel_scale\",");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    out.push_str("  \"results\": [\n");
+    // Baseline (1 thread) throughput per size, for the speedup column.
+    for (i, s) in samples.iter().enumerate() {
+        let base = samples
+            .iter()
+            .find(|b| b.servers == s.servers && b.threads == 1)
+            .map(|b| b.servers_per_sec)
+            .unwrap_or(s.servers_per_sec);
+        let speedup = s.servers_per_sec / base;
+        let _ = write!(
+            out,
+            "    {{\"servers\": {}, \"threads\": {}, \"sim_seconds\": {}, \
+             \"wall_ms\": {:.3}, \"servers_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+            s.servers, s.threads, s.sim_seconds, s.wall_ms, s.servers_per_sec, speedup
+        );
+        out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::capture();
+    let sim_s: u64 = args.get("seconds", 16);
+    let warmup_s: u64 = args.get("warmup", 4);
+    let out_path: String = args.get("out", "BENCH_dcsim.json".to_string());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    banner(
+        "Parallel scale",
+        "engine per-second loop throughput vs farm thread count",
+    );
+    println!("host cpus: {host_cpus}   simulated: {sim_s} s (+{warmup_s} s warmup)\n");
+
+    let mut table = Table::new(vec![
+        "Servers",
+        "Threads",
+        "Wall (ms)",
+        "Servers/s",
+        "Speedup",
+    ]);
+    let mut samples = Vec::new();
+    for (racks, rpp, cdus) in [(8, 2, 2), (32, 4, 4), (128, 8, 8)] {
+        for threads in [1usize, 4, 8] {
+            let s = measure(racks, rpp, cdus, threads, warmup_s, sim_s);
+            let base = samples
+                .iter()
+                .find(|b: &&Sample| b.servers == s.servers && b.threads == 1)
+                .map(|b| b.servers_per_sec)
+                .unwrap_or(s.servers_per_sec);
+            table.row(vec![
+                s.servers.to_string(),
+                s.threads.to_string(),
+                format!("{:.1}", s.wall_ms),
+                format!("{:.0}", s.servers_per_sec),
+                format!("{:.2}x", s.servers_per_sec / base),
+            ]);
+            samples.push(s);
+        }
+    }
+    print!("{}", table.render());
+    println!();
+
+    let json = render_json(&samples, host_cpus);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    if host_cpus < 4 {
+        println!(
+            "note: only {host_cpus} cpu(s) visible to this process; parallel \
+             speedups are not expected to materialize on this host."
+        );
+    }
+}

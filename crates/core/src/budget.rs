@@ -199,7 +199,7 @@ pub fn split_budget(budget: Watts, children: &[PriorityMetrics]) -> BudgetSplit 
             .zip(&budgets)
             .map(|(c, b)| c.constraint().saturating_sub(*b))
             .collect();
-        let grants = waterfill(remaining, &rooms.clone(), &rooms);
+        let grants = waterfill(remaining, &rooms, &rooms);
         for (b, g) in budgets.iter_mut().zip(&grants) {
             *b += *g;
         }
@@ -324,6 +324,32 @@ mod tests {
         for (b, c) in split.budgets.iter().zip(&children) {
             assert!(*b <= c.constraint() + Watts::new(1e-6));
         }
+    }
+
+    #[test]
+    fn step4_surplus_conserves_with_zero_rooms() {
+        // Step 4 weights surplus by the rooms themselves; children already
+        // at their constraint contribute zero weight AND zero room. The
+        // waterfill must route the whole surplus through the remaining open
+        // rooms (or report it unallocated) without losing a single watt.
+        let children = vec![
+            // Saturated child: demand at cap_max, so after step 2 its
+            // constraint headroom (room) is exactly zero.
+            leaf(490.0, Priority::LOW),
+            // Open child: 190 W of headroom above its demand.
+            leaf(300.0, Priority::LOW),
+        ];
+        let budget = 1500.0;
+        let split = split_budget(Watts::new(budget), &children);
+        let total: Watts = split.budgets.iter().sum();
+        assert!(
+            (total + split.unallocated).approx_eq(Watts::new(budget), Watts::new(1e-6)),
+            "step-4 surplus lost: budgets {total} + unallocated {}",
+            split.unallocated
+        );
+        // Both children end at their constraints; the rest is unallocated.
+        assert_eq!(split.budgets, vec![Watts::new(490.0), Watts::new(490.0)]);
+        assert!(split.unallocated.approx_eq(Watts::new(520.0), Watts::new(1e-6)));
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod budget;
 pub mod capping;
 pub mod estimator;
 pub mod metrics;
+pub mod par;
 pub mod plane;
 pub mod policy;
 pub mod spo;

@@ -12,12 +12,13 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use capmaestro_server::Server;
+use capmaestro_server::{SensorSnapshot, Server};
 use capmaestro_topology::{FeedId, ServerId, SupplyIndex};
 use capmaestro_units::{Ratio, Seconds, Watts};
 
 use crate::capping::CappingController;
 use crate::estimator::DemandEstimator;
+use crate::par::{par_for_each_mut, par_map, par_map_mut};
 use crate::policy::PolicyKind;
 use crate::spo::optimize_stranded_power;
 use crate::tree::{Allocation, ControlTree, SupplyInput};
@@ -25,16 +26,43 @@ use crate::tree::{Allocation, ControlTree, SupplyInput};
 /// The population of servers under management, keyed by id.
 ///
 /// A thin deterministic container (ordered map) so experiments iterate
-/// servers in stable order.
-#[derive(Debug, Default)]
+/// servers in stable order. The farm also carries the thread-count knob
+/// for the per-second hot path: [`Farm::set_parallelism`] shards
+/// [`Farm::step_all`], the sensing sweeps, and the control plane's
+/// estimate phase across scoped threads. Results are bit-identical for
+/// every thread count — servers are independent and all outputs stay in
+/// id order.
+#[derive(Debug)]
 pub struct Farm {
     servers: BTreeMap<ServerId, Server>,
+    parallelism: usize,
+}
+
+impl Default for Farm {
+    fn default() -> Self {
+        Farm {
+            servers: BTreeMap::new(),
+            parallelism: 1,
+        }
+    }
 }
 
 impl Farm {
     /// Creates an empty farm.
     pub fn new() -> Self {
         Farm::default()
+    }
+
+    /// Sets how many threads the hot-path sweeps (stepping, sensing,
+    /// demand estimation) may fan out across. Clamped to at least 1;
+    /// 1 (the default) keeps everything on the calling thread.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
+    }
+
+    /// The configured hot-path thread count.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Adds (or replaces) a server.
@@ -72,11 +100,42 @@ impl Farm {
         self.servers.iter_mut().map(|(&id, s)| (id, s))
     }
 
-    /// Advances every server by `dt`.
+    /// Advances every server by `dt`, sharded across the configured
+    /// thread count.
     pub fn step_all(&mut self, dt: Seconds) {
-        for server in self.servers.values_mut() {
-            server.step(dt);
+        let threads = self.parallelism;
+        if threads <= 1 {
+            for server in self.servers.values_mut() {
+                server.step(dt);
+            }
+            return;
         }
+        let mut refs: Vec<&mut Server> = self.servers.values_mut().collect();
+        par_for_each_mut(&mut refs, threads, |server| {
+            server.step(dt);
+        });
+    }
+
+    /// Reads every server's sensors, in id order, sharded across the
+    /// configured thread count.
+    pub fn sense_all(&self) -> Vec<(ServerId, SensorSnapshot)> {
+        let entries: Vec<(ServerId, &Server)> = self.iter().collect();
+        par_map(&entries, self.parallelism, |&(id, server)| {
+            (id, server.sense())
+        })
+    }
+
+    /// Advances every server by `dt` and reads its sensors in the same
+    /// sweep — the fused per-second hot path of the simulation engine
+    /// (one fan-out instead of two, and downstream consumers share the
+    /// snapshots instead of re-sensing). Returns snapshots in id order.
+    pub fn step_and_sense_all(&mut self, dt: Seconds) -> Vec<(ServerId, SensorSnapshot)> {
+        let threads = self.parallelism;
+        let mut entries: Vec<(ServerId, &mut Server)> = self.iter_mut().collect();
+        par_map_mut(&mut entries, threads, |(id, server)| {
+            server.step(dt);
+            (*id, server.sense())
+        })
     }
 }
 
@@ -391,12 +450,26 @@ impl ControlPlane {
     }
 
     /// Records one per-second sensor sample for every server (throttle
-    /// level and total AC power), feeding the demand estimators.
+    /// level and total AC power), feeding the demand estimators. Sensing
+    /// fans out across the farm's configured thread count; the estimator
+    /// updates stay in id order, so the result is thread-count
+    /// independent.
     pub fn record_sample(&mut self, farm: &Farm) {
-        for (id, server) in farm.iter() {
-            let snap = server.sense();
+        for (id, snap) in farm.sense_all() {
             self.estimators
                 .entry(id)
+                .or_default()
+                .push(snap.throttle, snap.total_ac);
+        }
+    }
+
+    /// Feeds already-collected sensor snapshots to the demand estimators —
+    /// the allocation-free path for callers (like the simulation engine)
+    /// that sensed the farm this second anyway.
+    pub fn record_snapshots(&mut self, snaps: &[(ServerId, SensorSnapshot)]) {
+        for (id, snap) in snaps {
+            self.estimators
+                .entry(*id)
                 .or_default()
                 .push(snap.throttle, snap.total_ac);
         }
@@ -417,47 +490,74 @@ impl ControlPlane {
 
     /// Runs one control round: estimate → gather → allocate (→ SPO) →
     /// enforce. Returns what was decided.
+    ///
+    /// The per-server phases (demand estimation, leaf-input refresh,
+    /// sensing for enforcement) and the per-tree allocation fan out across
+    /// the farm's configured thread count ([`Farm::set_parallelism`]).
+    /// Every cross-item combination step — the budget split inside each
+    /// tree, the SPO pass, and the stateful capping-controller updates —
+    /// runs sequentially in deterministic order, so the round's decisions
+    /// are bit-identical for every thread count.
     pub fn run_round(&mut self, farm: &mut Farm) -> RoundReport {
+        let threads = farm.parallelism();
+
         // 1. Refresh every tree's leaf inputs from estimates and the
-        //    servers' live PSU state.
-        let demands: HashMap<ServerId, Watts> = farm
-            .iter()
-            .map(|(id, _)| (id, self.demand_estimate(id, farm)))
+        //    servers' live PSU state. Estimates are independent per
+        //    server; each tree's refresh is independent per tree.
+        let entries: Vec<(ServerId, &Server)> = farm.iter().collect();
+        let estimators = &self.estimators;
+        let demands: HashMap<ServerId, Watts> =
+            par_map(&entries, threads, |&(id, server)| {
+                let idle = server.config().model().idle();
+                let estimate = estimators
+                    .get(&id)
+                    .and_then(|e| e.estimate_with_idle(idle))
+                    .unwrap_or_else(|| server.sense().total_ac);
+                (id, estimate)
+            })
+            .into_iter()
             .collect();
         let overrides = &self.priority_overrides;
         let statics = &self.static_priorities;
-        for tree in &mut self.trees {
-            if !overrides.is_empty() {
-                tree.set_priorities_with(|server| {
-                    overrides.get(&server).copied().unwrap_or_else(|| {
-                        statics
-                            .get(&server)
-                            .copied()
-                            .unwrap_or(capmaestro_topology::Priority::LOW)
-                    })
-                });
-            }
-            tree.set_inputs_with(|server, supply| {
-                let srv = farm
-                    .get(server)
-                    .unwrap_or_else(|| panic!("tree references unknown {server}"));
-                let model = srv.config().model();
-                let shares = srv.bank().effective_shares();
-                let share = shares
-                    .get(supply.index())
-                    .copied()
-                    .unwrap_or(Ratio::ZERO);
-                let demand = demands.get(&server).copied().unwrap_or(model.idle());
-                SupplyInput {
-                    demand: demand.clamp(model.idle(), model.cap_max()),
-                    cap_min: model.cap_min(),
-                    cap_max: model.cap_max(),
-                    share,
+        {
+            let farm = &*farm;
+            let demands = &demands;
+            par_for_each_mut(&mut self.trees, threads, |tree| {
+                if !overrides.is_empty() {
+                    tree.set_priorities_with(|server| {
+                        overrides.get(&server).copied().unwrap_or_else(|| {
+                            statics
+                                .get(&server)
+                                .copied()
+                                .unwrap_or(capmaestro_topology::Priority::LOW)
+                        })
+                    });
                 }
+                tree.set_inputs_with(|server, supply| {
+                    let srv = farm
+                        .get(server)
+                        .unwrap_or_else(|| panic!("tree references unknown {server}"));
+                    let model = srv.config().model();
+                    let shares = srv.bank().effective_shares();
+                    let share = shares
+                        .get(supply.index())
+                        .copied()
+                        .unwrap_or(Ratio::ZERO);
+                    let demand = demands.get(&server).copied().unwrap_or(model.idle());
+                    SupplyInput {
+                        demand: demand.clamp(model.idle(), model.cap_max()),
+                        cap_min: model.cap_min(),
+                        cap_max: model.cap_max(),
+                        share,
+                    }
+                });
             });
         }
 
-        // 2. Allocate (with or without the stranded-power pass).
+        // 2. Allocate (with or without the stranded-power pass). Without
+        //    SPO the trees are independent, so they allocate concurrently;
+        //    the split *within* each tree stays sequential. The SPO pass
+        //    couples the trees and remains sequential (see ROADMAP).
         let root_budgets = self.resolve_root_budgets();
         let policy = self.config.policy.policy();
         let (allocations, stranded_reclaimed) = if self.config.spo {
@@ -465,39 +565,51 @@ impl ControlPlane {
                 optimize_stranded_power(&self.trees, &root_budgets, policy.as_ref());
             (outcome.second.clone(), outcome.total_stranded())
         } else {
-            let allocs: Vec<Allocation> = self
+            let pairs: Vec<(&ControlTree, Watts)> = self
                 .trees
                 .iter()
-                .zip(&root_budgets)
-                .map(|(t, &b)| t.allocate(b, policy.as_ref()))
+                .zip(root_budgets.iter().copied())
                 .collect();
+            let allocs: Vec<Allocation> =
+                par_map(&pairs, threads, |&(t, b)| t.allocate(b, policy.as_ref()));
             (allocs, Watts::ZERO)
         };
 
-        // 3. Enforce: run every server's capping controller on its working
-        //    supplies' budgets and measurements.
+        // 3. Enforce: sense every server and gather its working supplies'
+        //    budgets and measurements in parallel, then run the stateful
+        //    capping controllers sequentially in id order.
+        let allocations_ref = &allocations;
+        let sensed: Vec<Option<(Vec<Watts>, Vec<Watts>)>> =
+            par_map(&entries, threads, |&(id, server)| {
+                let snap = server.sense();
+                let shares = server.bank().effective_shares();
+                let mut budgets = Vec::new();
+                let mut measured = Vec::new();
+                for (idx, share) in shares.iter().enumerate() {
+                    if share.as_f64() <= 0.0 {
+                        continue;
+                    }
+                    let supply = SupplyIndex(idx as u8);
+                    if let Some(b) = allocations_ref
+                        .iter()
+                        .find_map(|a| a.supply_budget(id, supply))
+                    {
+                        budgets.push(b);
+                        measured.push(snap.supply_ac[idx]);
+                    }
+                }
+                if budgets.is_empty() {
+                    None
+                } else {
+                    Some((budgets, measured))
+                }
+            });
+        drop(entries);
         let mut dc_caps = HashMap::new();
-        for (id, server) in farm.iter_mut() {
-            let snap = server.sense();
-            let shares = server.bank().effective_shares();
-            let mut budgets = Vec::new();
-            let mut measured = Vec::new();
-            for (idx, share) in shares.iter().enumerate() {
-                if share.as_f64() <= 0.0 {
-                    continue;
-                }
-                let supply = SupplyIndex(idx as u8);
-                if let Some(b) = allocations
-                    .iter()
-                    .find_map(|a| a.supply_budget(id, supply))
-                {
-                    budgets.push(b);
-                    measured.push(snap.supply_ac[idx]);
-                }
-            }
-            if budgets.is_empty() {
+        for ((id, server), work) in farm.iter_mut().zip(sensed) {
+            let Some((budgets, measured)) = work else {
                 continue;
-            }
+            };
             let model = server.config().model();
             let controller = self.controllers.entry(id).or_insert_with(|| {
                 CappingController::new(

@@ -35,8 +35,15 @@ pub struct SpoOutcome {
 
 impl SpoOutcome {
     /// Total stranded power detected in the first pass.
+    ///
+    /// Summed in `(server, supply)` order: map iteration order varies per
+    /// instance and f64 addition is not associative, so a fixed order
+    /// keeps the reported total bit-identical across control planes.
     pub fn total_stranded(&self) -> Watts {
-        self.stranded.values().sum()
+        let mut entries: Vec<(&(ServerId, SupplyIndex), &Watts)> =
+            self.stranded.iter().collect();
+        entries.sort_unstable_by_key(|(&key, _)| key);
+        entries.into_iter().map(|(_, &w)| w).sum()
     }
 
     /// Final (post-SPO) budget for a supply, searching all trees.

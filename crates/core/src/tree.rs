@@ -63,8 +63,15 @@ impl Allocation {
     }
 
     /// Total budget across all leaves.
+    ///
+    /// Summed in `(server, supply)` order so the result is independent of
+    /// the map's per-instance iteration order (f64 addition is not
+    /// associative).
     pub fn total_leaf_budget(&self) -> Watts {
-        self.supply_budgets.values().sum()
+        let mut entries: Vec<(&(ServerId, SupplyIndex), &Watts)> =
+            self.supply_budgets.iter().collect();
+        entries.sort_unstable_by_key(|(&key, _)| key);
+        entries.into_iter().map(|(_, &w)| w).sum()
     }
 }
 

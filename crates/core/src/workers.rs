@@ -92,7 +92,11 @@ pub struct WorkerDeployment {
     policy: PolicyKind,
     farm: SharedFarm,
     handles: Vec<JoinHandle<()>>,
-    to_workers: Vec<Sender<DownMsg>>,
+    /// `None` marks a worker known to be dead (killed via
+    /// [`WorkerDeployment::kill_worker`] or observed unreachable): gather
+    /// must not wait on it, or every round eats the full
+    /// [`GATHER_TIMEOUT`].
+    to_workers: Vec<Option<Sender<DownMsg>>>,
     from_workers: Receiver<UpMsg>,
     /// Cut node ids per tree, in spec order.
     cuts_per_tree: Vec<Vec<usize>>,
@@ -167,7 +171,7 @@ impl WorkerDeployment {
         let mut handles = Vec::with_capacity(worker_count);
         for (w, assignment) in assignments.into_iter().enumerate() {
             let (down_tx, down_rx) = unbounded::<DownMsg>();
-            to_workers.push(down_tx);
+            to_workers.push(Some(down_tx));
             let up = up_tx.clone();
             let farm = Arc::clone(&farm);
             let trees = trees.clone();
@@ -212,12 +216,18 @@ impl WorkerDeployment {
     /// have never reported fall back to empty metrics (they receive no
     /// budget until their worker appears).
     pub fn run_round(&mut self, round: u64) -> HashMap<CutId, Watts> {
-        // Phase 1: gather. Send errors mean the worker is gone; rely on
-        // its cached metrics below.
+        // Phase 1: gather. A send error means the worker is gone — mark it
+        // dead so no later round waits on it, and rely on its cached
+        // metrics below.
         let mut expected = 0usize;
-        for tx in &self.to_workers {
+        for slot in &mut self.to_workers {
+            let Some(tx) = slot else {
+                continue;
+            };
             if tx.send(DownMsg::Gather { round }).is_ok() {
                 expected += 1;
+            } else {
+                *slot = None;
             }
         }
         let deadline = std::time::Instant::now() + GATHER_TIMEOUT;
@@ -279,7 +289,7 @@ impl WorkerDeployment {
 
         // Phase 3: enforce (dead workers silently miss their budgets; their
         // servers hold the last cap they were given — fail-safe).
-        for tx in &self.to_workers {
+        for tx in self.to_workers.iter().flatten() {
             let _ = tx.send(DownMsg::Budgets {
                 budgets: cut_budgets.iter().map(|(&c, &b)| (c, b)).collect(),
             });
@@ -289,9 +299,18 @@ impl WorkerDeployment {
 
     /// Shuts one rack worker down (for fault-injection tests and rolling
     /// maintenance). Subsequent rounds hold its last metrics.
+    ///
+    /// The worker's `Sender` is dropped immediately after the `Shutdown` is
+    /// queued: the worker drains its queue and exits, and — critically —
+    /// gather never again counts it as expected. Before this, a killed
+    /// worker's channel kept accepting `Gather` messages, so every later
+    /// round blocked for the full [`GATHER_TIMEOUT`] waiting on a reply
+    /// that could never come.
     pub fn kill_worker(&mut self, worker: usize) {
-        if let Some(tx) = self.to_workers.get(worker) {
-            let _ = tx.send(DownMsg::Shutdown);
+        if let Some(slot) = self.to_workers.get_mut(worker) {
+            if let Some(tx) = slot.take() {
+                let _ = tx.send(DownMsg::Shutdown);
+            }
         }
     }
 
@@ -310,7 +329,7 @@ impl WorkerDeployment {
 
     /// Shuts the workers down and joins their threads.
     pub fn shutdown(mut self) {
-        for tx in &self.to_workers {
+        for tx in self.to_workers.iter().flatten() {
             let _ = tx.send(DownMsg::Shutdown);
         }
         for handle in self.handles.drain(..) {
@@ -730,6 +749,35 @@ mod tests {
                 "cut {cut:?} budget changed {budget} -> {after} with frozen metrics"
             );
         }
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn killed_worker_rounds_skip_the_gather_timeout() {
+        // Regression: kill_worker used to leave the dead worker's Sender in
+        // place, so `send(Gather)` kept succeeding and every subsequent
+        // round blocked for the full GATHER_TIMEOUT waiting on a reply the
+        // dead worker could never produce.
+        let (_, farm, trees) = fig2_shared_farm();
+        let mut deployment = WorkerDeployment::spawn(
+            trees,
+            vec![Watts::new(1240.0)],
+            PolicyKind::GlobalPriority,
+            Arc::clone(&farm),
+            2,
+        );
+        deployment.run_round(0);
+        deployment.kill_worker(0);
+        let start = std::time::Instant::now();
+        let degraded = deployment.run_round(1);
+        let elapsed = start.elapsed();
+        assert_eq!(degraded.len(), 2);
+        // The surviving worker answers in microseconds; leave generous CI
+        // slack while staying far below the 500 ms stale-hold timeout.
+        assert!(
+            elapsed < GATHER_TIMEOUT / 2,
+            "degraded round took {elapsed:?}; dead worker still counted as expected"
+        );
         deployment.shutdown();
     }
 

@@ -347,3 +347,39 @@ proptest! {
         }
     }
 }
+
+/// Promoted proptest regression (`properties.proptest-regressions`): a group
+/// whose children's cap_min floors (4 × 270 W = 1080 W) exceed its own
+/// 800 W limit must still never be budgeted above that limit, however large
+/// the root budget is. The group-limit path used to hand the group its full
+/// floor sum, overshooting the breaker rating the limit models.
+#[test]
+fn regression_group_limit_caps_infeasible_floors() {
+    let groups = vec![vec![(270.0, 0), (270.0, 0), (270.0, 0), (270.0, 0)]];
+    let budget: f64 = 9217.311100816274;
+    let group_limit = 800.0;
+    let tree = grouped_tree(&groups, group_limit, budget.max(1000.0));
+    for policy in [
+        &GlobalPriority::new() as &dyn capmaestro_core::policy::CappingPolicy,
+        &LocalPriority::new(),
+        &NoPriority::new(),
+    ] {
+        let alloc = tree.allocate(Watts::new(budget), policy);
+        let spec = tree.spec();
+        for idx in 0..spec.len() {
+            if let Some(limit) = spec.node(idx).limit {
+                assert!(
+                    alloc.node_budget(idx) <= limit + Watts::new(EPS),
+                    "node {idx} budget {} exceeds its limit {limit} under {}",
+                    alloc.node_budget(idx),
+                    policy.name()
+                );
+            }
+        }
+        assert!(
+            alloc.total_leaf_budget() <= Watts::new(budget + EPS),
+            "leaves exceed root budget under {}",
+            policy.name()
+        );
+    }
+}

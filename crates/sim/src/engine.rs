@@ -8,8 +8,9 @@
 
 use std::collections::HashMap;
 
+use capmaestro_core::par::par_map;
 use capmaestro_core::plane::{ControlPlane, Farm};
-use capmaestro_server::Server;
+use capmaestro_server::{SensorSnapshot, Server};
 use capmaestro_topology::{BreakerSim, BreakerState, FeedId, NodeId, Phase, ServerId, SupplyIndex, Topology};
 use capmaestro_units::{Seconds, Watts};
 
@@ -134,6 +135,73 @@ impl Trace {
     }
 }
 
+/// Static index of the per-second sense/accumulate hot path, built once
+/// at engine construction. The power topology and the farm's membership
+/// never change mid-run, so the outlet order, each outlet's position in
+/// the farm's snapshot sweep, the set of loaded `(feed, node, phase)`
+/// keys, and each key's contributing outlets are all precomputed —
+/// the per-second loop then does indexed sums instead of re-walking
+/// paths and re-hashing keys every simulated second.
+#[derive(Debug)]
+struct LoadIndex {
+    /// Per outlet, feed-major in outlet order: the farm snapshot slot of
+    /// its server (`None` when the farm has no such server) and the
+    /// supply index.
+    outlets: Vec<(Option<u32>, u8)>,
+    /// Key → slot in each second's load vector, assigned in first-touch
+    /// order over the outlets.
+    slots: HashMap<(FeedId, NodeId, Phase), usize>,
+    /// Per key: the contributing outlet indices, in outlet order. Each
+    /// key's loads are summed in exactly this order, which keeps the
+    /// parallel accumulation bit-identical to the sequential push-up.
+    contributors: Vec<Vec<u32>>,
+}
+
+impl LoadIndex {
+    fn build(topology: &Topology, farm: &Farm) -> Self {
+        let server_slot: HashMap<ServerId, u32> = farm
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (id, i as u32))
+            .collect();
+        let mut outlets = Vec::new();
+        let mut slots = HashMap::new();
+        let mut contributors: Vec<Vec<u32>> = Vec::new();
+        for graph in topology.feeds() {
+            for (outlet_node, outlet) in graph.outlets() {
+                let oi = outlets.len() as u32;
+                outlets.push((
+                    server_slot.get(&outlet.server).copied(),
+                    outlet.supply.index() as u8,
+                ));
+                for node in graph.path_to_root(outlet_node) {
+                    let key = (graph.feed(), node, outlet.phase);
+                    let next = contributors.len();
+                    let slot = *slots.entry(key).or_insert(next);
+                    if slot == next {
+                        contributors.push(Vec::new());
+                    }
+                    contributors[slot].push(oi);
+                }
+            }
+        }
+        LoadIndex {
+            outlets,
+            slots,
+            contributors,
+        }
+    }
+
+    /// The load at a key this second, if any outlet feeds it.
+    fn load_at(
+        &self,
+        loads: &[Watts],
+        key: (FeedId, NodeId, Phase),
+    ) -> Option<Watts> {
+        self.slots.get(&key).map(|&slot| loads[slot])
+    }
+}
+
 /// The time-stepped simulation engine.
 ///
 /// # Examples
@@ -158,6 +226,7 @@ pub struct Engine {
     time_s: u64,
     trace: Trace,
     last_caps: HashMap<ServerId, f64>,
+    load_index: LoadIndex,
 }
 
 impl Engine {
@@ -198,6 +267,7 @@ impl Engine {
                 }
             }
         }
+        let load_index = LoadIndex::build(&topology, &farm);
         Engine {
             topology,
             farm,
@@ -208,7 +278,17 @@ impl Engine {
             time_s: 0,
             trace: Trace::default(),
             last_caps: HashMap::new(),
+            load_index,
         }
+    }
+
+    /// Sets how many threads the per-second hot path (stepping, sensing,
+    /// load accumulation, trace recording, and the control plane's
+    /// estimate phase) fans out across. The simulation is bit-identical
+    /// for every thread count; see [`Farm::set_parallelism`].
+    pub fn set_parallelism(&mut self, threads: usize) -> &mut Self {
+        self.farm.set_parallelism(threads);
+        self
     }
 
     /// Schedules an event at an absolute simulation second.
@@ -316,55 +396,100 @@ impl Engine {
         }
     }
 
-    /// Per-(feed, node, phase) load right now: the sum of supply powers at
-    /// outlet descendants, kept per phase because breaker ratings are
-    /// per phase. Computed by pushing each outlet's load up its path.
-    fn node_loads(&self) -> HashMap<(FeedId, NodeId, Phase), Watts> {
-        let mut loads: HashMap<(FeedId, NodeId, Phase), Watts> = HashMap::new();
-        for graph in self.topology.feeds() {
-            for (outlet_node, outlet) in graph.outlets() {
-                let Some(server) = self.farm.get(outlet.server) else {
-                    continue;
-                };
-                let snap = server.sense();
-                let load = snap
-                    .supply_ac
-                    .get(outlet.supply.index())
-                    .copied()
-                    .unwrap_or(Watts::ZERO);
-                for node in graph.path_to_root(outlet_node) {
-                    *loads
-                        .entry((graph.feed(), node, outlet.phase))
-                        .or_insert(Watts::ZERO) += load;
+    /// Per-key load right now, indexed by [`LoadIndex`] slot: the sum of
+    /// supply powers at outlet descendants, kept per phase because breaker
+    /// ratings are per phase. The per-outlet loads are cheap snapshot
+    /// lookups; the per-key sums fan out across threads (keys are
+    /// disjoint, and each key sums its contributions in outlet order, so
+    /// the result is bit-identical for every thread count).
+    fn node_loads(&self, snaps: &[(ServerId, SensorSnapshot)]) -> Vec<Watts> {
+        let outlet_loads: Vec<Watts> = self
+            .load_index
+            .outlets
+            .iter()
+            .map(|&(slot, supply)| {
+                slot.and_then(|s| {
+                    snaps[s as usize].1.supply_ac.get(supply as usize).copied()
+                })
+                .unwrap_or(Watts::ZERO)
+            })
+            .collect();
+        par_map(
+            &self.load_index.contributors,
+            self.farm.parallelism(),
+            |outlets| {
+                let mut total = Watts::ZERO;
+                for &oi in outlets {
+                    total += outlet_loads[oi as usize];
                 }
-            }
-        }
-        loads
+                total
+            },
+        )
     }
 
-    fn record(&mut self, loads: &HashMap<(FeedId, NodeId, Phase), Watts>) {
-        for (id, server) in self.farm.iter() {
-            let snap = server.sense();
-            self.trace
-                .server_power
-                .entry(id)
-                .or_default()
-                .push(snap.total_ac.as_f64());
-            self.trace
-                .throttle
-                .entry(id)
-                .or_default()
-                .push(snap.throttle.as_f64());
-            for (i, p) in snap.supply_ac.iter().enumerate() {
-                self.trace
-                    .supply_power
-                    .entry((id, SupplyIndex(i as u8)))
+    fn record(&mut self, snaps: &[(ServerId, SensorSnapshot)], loads: &[Watts]) {
+        // Per-server series. The four trace maps are independent, so they
+        // fill concurrently (one thread per map); each map's own push
+        // order is unchanged, so the trace is thread-count independent.
+        let threads = self.farm.parallelism();
+        let server_power = &mut self.trace.server_power;
+        let throttle = &mut self.trace.throttle;
+        let supply_power = &mut self.trace.supply_power;
+        let dc_cap = &mut self.trace.dc_cap;
+        let last_caps = &self.last_caps;
+        let push_supply_power =
+            |supply_power: &mut HashMap<(ServerId, SupplyIndex), Vec<f64>>| {
+                for (id, snap) in snaps {
+                    for (i, p) in snap.supply_ac.iter().enumerate() {
+                        supply_power
+                            .entry((*id, SupplyIndex(i as u8)))
+                            .or_default()
+                            .push(p.as_f64());
+                    }
+                }
+            };
+        if threads <= 1 {
+            for (id, snap) in snaps {
+                server_power
+                    .entry(*id)
                     .or_default()
-                    .push(p.as_f64());
+                    .push(snap.total_ac.as_f64());
+                throttle
+                    .entry(*id)
+                    .or_default()
+                    .push(snap.throttle.as_f64());
+                let cap = last_caps.get(id).copied().unwrap_or(f64::NAN);
+                dc_cap.entry(*id).or_default().push(cap);
             }
-            let cap = self.last_caps.get(&id).copied().unwrap_or(f64::NAN);
-            self.trace.dc_cap.entry(id).or_default().push(cap);
+            push_supply_power(supply_power);
+        } else {
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    for (id, snap) in snaps {
+                        server_power
+                            .entry(*id)
+                            .or_default()
+                            .push(snap.total_ac.as_f64());
+                    }
+                });
+                scope.spawn(move || {
+                    for (id, snap) in snaps {
+                        throttle
+                            .entry(*id)
+                            .or_default()
+                            .push(snap.throttle.as_f64());
+                    }
+                });
+                scope.spawn(move || push_supply_power(supply_power));
+                scope.spawn(move || {
+                    for (id, _) in snaps {
+                        let cap = last_caps.get(id).copied().unwrap_or(f64::NAN);
+                        dc_cap.entry(*id).or_default().push(cap);
+                    }
+                });
+            });
         }
+        // Per-node series (a few hundred limited nodes at most).
         for graph in self.topology.feeds() {
             for node in graph.iter() {
                 if graph.device(node).effective_limit().is_none() {
@@ -375,8 +500,9 @@ impl Engine {
                 // the per-phase values against the per-phase ratings.
                 let load: Watts = Phase::ALL
                     .iter()
-                    .filter_map(|&p| loads.get(&(graph.feed(), node, p)))
-                    .copied()
+                    .filter_map(|&p| {
+                        self.load_index.load_at(loads, (graph.feed(), node, p))
+                    })
                     .sum();
                 self.trace
                     .node_load
@@ -416,15 +542,18 @@ impl Engine {
                     .push((self.time_s, report.stranded_reclaimed.as_f64()));
             }
 
-            // Physics. Each breaker's thermal model runs on its own
-            // phase's load (ratings are per phase).
-            self.farm.step_all(Seconds::new(1.0));
-            let loads = self.node_loads();
+            // Physics. One fused sweep steps every server and reads its
+            // sensors; the snapshots feed the load accumulation, the
+            // breaker models, and the trace without re-sensing. Each
+            // breaker's thermal model runs on its own phase's load
+            // (ratings are per phase).
+            let mut snaps = self.farm.step_and_sense_all(Seconds::new(1.0));
+            let loads = self.node_loads(&snaps);
             let mut tripped_now: Vec<(FeedId, NodeId, Phase)> = Vec::new();
             for ((feed, node, phase), sim) in &mut self.breakers {
-                let load = loads
-                    .get(&(*feed, *node, *phase))
-                    .copied()
+                let load = self
+                    .load_index
+                    .load_at(&loads, (*feed, *node, *phase))
                     .unwrap_or(Watts::ZERO);
                 let before = sim.state();
                 let after = sim.step(load, Seconds::new(1.0));
@@ -448,6 +577,7 @@ impl Engine {
             // whose last working supply died goes dark (§2.1's
             // "downstream power delivery is interrupted, potentially
             // causing server power outage").
+            let mut resensed: Vec<ServerId> = Vec::new();
             for (feed, node, phase) in tripped_now.drain(..) {
                 let victims: Vec<(ServerId, SupplyIndex)> = self
                     .topology
@@ -471,12 +601,27 @@ impl Engine {
                             srv.set_powered(false);
                             self.trace.lost_servers.push((self.time_s, server));
                         }
+                        if !resensed.contains(&server) {
+                            resensed.push(server);
+                        }
+                    }
+                }
+            }
+            // Trips changed the victims' PSU state after the sweep;
+            // refresh their snapshots so the trace records post-trip
+            // sensor readings, exactly as a fresh sense would.
+            if !resensed.is_empty() {
+                for (id, snap) in snaps.iter_mut() {
+                    if resensed.contains(id) {
+                        if let Some(server) = self.farm.get(*id) {
+                            *snap = server.sense();
+                        }
                     }
                 }
             }
 
             // Record.
-            self.record(&loads);
+            self.record(&snaps, &loads);
             self.time_s += 1;
             self.trace.seconds = self.time_s;
         }

@@ -1,0 +1,204 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides just enough of criterion's API for the workspace's
+//! `harness = false` benches to compile and produce useful wall-clock
+//! numbers: [`Criterion`], [`BenchmarkId`], benchmark groups, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. No statistics, plots,
+//! or baselines — each bench runs a fixed number of timed samples and
+//! reports the per-iteration mean and minimum.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies one parameterized benchmark, e.g. `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// (mean, min) seconds per iteration, filled by `iter`.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Runs `routine` once to warm up, then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let dt = start.elapsed().as_secs_f64();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.samples as f64, min));
+    }
+}
+
+fn run_one(id: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min)) => println!(
+            "{id:<40} mean {:>12}  min {:>12}  ({samples} samples)",
+            format_duration(mean),
+            format_duration(min),
+        ),
+        None => println!("{id:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each bench runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one unparameterized bench in this group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, f);
+        self
+    }
+
+    /// Runs one parameterized bench in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.samples,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (formatting no-op here; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench context handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples();
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone bench.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.samples();
+        run_one(id, samples, f);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        if self.default_samples == 0 {
+            20
+        } else {
+            self.default_samples
+        }
+    }
+}
+
+/// Declares a bench suite: a function running each bench fn in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each suite.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // One warm-up plus three samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn id_formats_with_parameter() {
+        let id = BenchmarkId::new("alloc", 512);
+        assert_eq!(id.id, "alloc/512");
+    }
+}
