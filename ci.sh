@@ -11,6 +11,11 @@ cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Deterministic chaos smoke: seeded telemetry faults against both rigs,
+# invariant-checked every simulated second; exits non-zero on violation.
+cargo run --release -q -p capmaestro-bench --bin chaos -- \
+    --seconds 300 --seed 7 --seeds 1 --out BENCH_chaos_smoke.json
+
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p capmaestro-bench --bin parallel_scale
 fi

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use capmaestro_bench::{banner, Args};
 use capmaestro_core::policy::PolicyKind;
-use capmaestro_core::workers::{shared_farm, WorkerDeployment};
+use capmaestro_core::workers::{shared_farm, DeploymentConfig, WorkerDeployment};
 use capmaestro_sim::report::Table;
 use capmaestro_sim::scenarios::{datacenter_rig, DataCenterRigConfig};
 use capmaestro_topology::presets::DataCenterParams;
@@ -64,6 +64,7 @@ fn rounds_per_config(racks: usize, rpp: usize, cdus: usize, spr: usize, workers:
         PolicyKind::GlobalPriority,
         shared,
         workers,
+        DeploymentConfig::default(),
     );
     deployment.run_round(0); // warm caches
     let start = Instant::now();

@@ -120,6 +120,20 @@ impl CappingController {
     pub fn reset(&mut self) {
         self.desired_dc = self.cap_max_dc;
     }
+
+    /// Overrides the integrator with an externally chosen DC cap, clamped
+    /// into the controllable range, and returns the cap actually set.
+    ///
+    /// Used by the fail-safe degradation path: when a server's telemetry
+    /// goes stale the control plane clamps its cap directly (paper §4.2 —
+    /// over-throttling a blind server is safe; trusting frozen readings is
+    /// not) instead of feeding the feedback loop fabricated measurements.
+    /// The integrator resumes cleanly from the forced value once fresh
+    /// telemetry returns.
+    pub fn force_dc_cap(&mut self, dc: Watts) -> Watts {
+        self.desired_dc = dc.clamp(self.cap_min_dc, self.cap_max_dc);
+        self.desired_dc
+    }
 }
 
 impl fmt::Display for CappingController {
@@ -269,6 +283,23 @@ mod tests {
         assert!(ctl.desired_dc_cap() < ctl.dc_range().1);
         ctl.reset();
         assert_eq!(ctl.desired_dc_cap(), ctl.dc_range().1);
+    }
+
+    #[test]
+    fn force_dc_cap_clamps_and_resumes() {
+        let mut ctl = controller();
+        let (lo, hi) = ctl.dc_range();
+        // Below the controllable floor: clamped to cap_min (DC).
+        assert_eq!(ctl.force_dc_cap(Watts::new(10.0)), lo);
+        assert_eq!(ctl.desired_dc_cap(), lo);
+        // Above the ceiling: clamped to cap_max (DC).
+        assert_eq!(ctl.force_dc_cap(Watts::new(9999.0)), hi);
+        // In range: taken verbatim, and the feedback loop integrates from
+        // there on the next update.
+        let mid = (lo + hi) * 0.5;
+        ctl.force_dc_cap(mid);
+        let cap = ctl.update(&[Watts::new(300.0)], &[Watts::new(250.0)]);
+        assert!((cap.as_f64() - (mid.as_f64() + 47.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -19,6 +19,30 @@ const ZERO_THROTTLE_EPS: f64 = 1e-3;
 /// Minimum throttle variance for a meaningful regression slope.
 const MIN_VARIANCE: f64 = 1e-6;
 
+/// Plausibility lower bound as a fraction of the server's idle power: a
+/// powered server can never legitimately read below half its idle draw.
+pub const PLAUSIBLE_MIN_IDLE_FRACTION: f64 = 0.5;
+
+/// Plausibility upper bound as a fraction of the server's `Pcap_max`.
+pub const PLAUSIBLE_MAX_CAP_FRACTION: f64 = 1.5;
+
+/// A sample counts as a spike when its power deviates from the median of
+/// the last three samples by more than this fraction of the server's
+/// dynamic range (`cap_max − idle`). Below the threshold samples pass
+/// through unmodified, so healthy telemetry is never distorted.
+pub const SPIKE_DEVIATION_FRACTION: f64 = 0.25;
+
+/// What [`DemandEstimator::push_screened`] did with a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleFate {
+    /// The sample passed plausibility screening and entered the filter.
+    Accepted,
+    /// The sample was outside `[0.5·idle, 1.5·cap_max]` and was discarded
+    /// without touching the window. A run of rejections means the feed is
+    /// effectively stale.
+    RejectedImplausible,
+}
+
 /// Sliding-window demand estimator for one server.
 ///
 /// # Examples
@@ -40,6 +64,13 @@ const MIN_VARIANCE: f64 = 1e-6;
 pub struct DemandEstimator {
     window: VecDeque<(f64, Watts)>,
     capacity: usize,
+    /// Last ≤ 3 plausible samples, feeding the deviation-gated
+    /// median-of-3 spike filter used by
+    /// [`DemandEstimator::push_screened`]. Plain [`push`]
+    /// bypasses it entirely.
+    ///
+    /// [`push`]: DemandEstimator::push
+    recent: VecDeque<(f64, Watts)>,
 }
 
 impl DemandEstimator {
@@ -58,6 +89,7 @@ impl DemandEstimator {
         DemandEstimator {
             window: VecDeque::with_capacity(capacity),
             capacity,
+            recent: VecDeque::with_capacity(3),
         }
     }
 
@@ -68,6 +100,56 @@ impl DemandEstimator {
         }
         self.window
             .push_back((throttle.clamp_fraction().as_f64(), power));
+    }
+
+    /// Records one sample with plausibility screening and spike filtering.
+    ///
+    /// Screening: a reading outside `[0.5·idle, 1.5·cap_max]` cannot come
+    /// from a healthy powered server, so it is discarded outright
+    /// ([`SampleFate::RejectedImplausible`]) — the window is untouched and
+    /// the caller should treat the feed as not having refreshed.
+    ///
+    /// Filtering: an accepted sample whose power deviates from the median
+    /// of the last three samples by more than
+    /// [`SPIKE_DEVIATION_FRACTION`] of the dynamic range is replaced by
+    /// that median (selected by power, throttle kept paired) before
+    /// entering the regression window, so a single in-range spike is
+    /// absorbed instead of yanking the server's cap for a round. Samples
+    /// within the threshold — all of a healthy stream — enter verbatim,
+    /// and the first two samples after a
+    /// [`clear`](DemandEstimator::clear) always pass through.
+    pub fn push_screened(
+        &mut self,
+        throttle: Ratio,
+        power: Watts,
+        idle: Watts,
+        cap_max: Watts,
+    ) -> SampleFate {
+        let lo = idle * PLAUSIBLE_MIN_IDLE_FRACTION;
+        let hi = cap_max * PLAUSIBLE_MAX_CAP_FRACTION;
+        if power < lo || power > hi {
+            return SampleFate::RejectedImplausible;
+        }
+        let t = throttle.clamp_fraction().as_f64();
+        if self.recent.len() == 3 {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((t, power));
+        let (ft, fp) = if self.recent.len() < 3 {
+            (t, power)
+        } else {
+            let mut by_power: Vec<(f64, Watts)> = self.recent.iter().copied().collect();
+            by_power.sort_by(|a, b| Watts::total_cmp(&a.1, &b.1));
+            let (mt, mp) = by_power[1];
+            let limit = (cap_max - idle).as_f64() * SPIKE_DEVIATION_FRACTION;
+            if (power.as_f64() - mp.as_f64()).abs() > limit {
+                (mt, mp)
+            } else {
+                (t, power)
+            }
+        };
+        self.push(Ratio::new(ft), fp);
+        SampleFate::Accepted
     }
 
     /// Number of samples currently in the window.
@@ -83,6 +165,7 @@ impl DemandEstimator {
     /// Clears the window (e.g. after a workload change detection).
     pub fn clear(&mut self) {
         self.window.clear();
+        self.recent.clear();
     }
 
     /// Estimates the uncapped power demand.
@@ -295,6 +378,96 @@ mod tests {
             est.estimate_with_idle(Watts::new(160.0)),
             Some(Watts::new(270.0))
         );
+    }
+
+    const IDLE: Watts = Watts::new(160.0);
+    const CAP_MAX: Watts = Watts::new(490.0);
+
+    #[test]
+    fn screening_rejects_implausible_readings() {
+        let mut est = DemandEstimator::new();
+        // A dark server reads 0 W: below 0.5·idle, rejected.
+        assert_eq!(
+            est.push_screened(Ratio::ZERO, Watts::ZERO, IDLE, CAP_MAX),
+            SampleFate::RejectedImplausible
+        );
+        // A wild spike above 1.5·cap_max: rejected.
+        assert_eq!(
+            est.push_screened(Ratio::ZERO, Watts::new(800.0), IDLE, CAP_MAX),
+            SampleFate::RejectedImplausible
+        );
+        assert!(est.is_empty(), "rejected samples must not enter the window");
+        // A sane reading is accepted.
+        assert_eq!(
+            est.push_screened(Ratio::ZERO, Watts::new(420.0), IDLE, CAP_MAX),
+            SampleFate::Accepted
+        );
+        assert_eq!(est.len(), 1);
+    }
+
+    #[test]
+    fn median_filter_absorbs_in_range_spike() {
+        let mut est = DemandEstimator::new();
+        // Steady 420 W with one in-range spike to 700 W (< 1.5·cap_max).
+        for p in [420.0, 421.0, 700.0, 419.0, 420.0] {
+            assert_eq!(
+                est.push_screened(Ratio::ZERO, Watts::new(p), IDLE, CAP_MAX),
+                SampleFate::Accepted
+            );
+        }
+        // The spike never reaches the regression window: the zero-throttle
+        // mean stays near 420 W instead of being dragged ~56 W high.
+        let d = est.estimate().unwrap();
+        assert!((d.as_f64() - 420.0).abs() < 2.0, "estimated {d}");
+    }
+
+    #[test]
+    fn median_filter_keeps_throttle_power_pairs_together() {
+        let mut est = DemandEstimator::with_window(4);
+        // Two samples on the true line power = 430 − 270·t, then a spike
+        // far off it: the replacement median must carry its own throttle,
+        // not mix pairs.
+        est.push_screened(Ratio::new(0.1), Watts::new(403.0), IDLE, CAP_MAX);
+        est.push_screened(Ratio::new(0.3), Watts::new(349.0), IDLE, CAP_MAX);
+        est.push_screened(Ratio::new(0.2), Watts::new(700.0), IDLE, CAP_MAX);
+        // Window holds (0.1, 403) pass-through, (0.3, 349) pass-through,
+        // then the spike replaced by median-by-power (0.1, 403) — all on
+        // the line, so the regression recovers the true intercept exactly.
+        let d = est.estimate().unwrap();
+        assert!((d.as_f64() - 430.0).abs() < 1e-6, "estimated {d}");
+    }
+
+    #[test]
+    fn spike_filter_passes_smooth_streams_verbatim() {
+        let mut filtered = DemandEstimator::new();
+        let mut plain = DemandEstimator::new();
+        // A capped server's healthy oscillation (< 25 % of dynamic range
+        // step to step) must enter the window bit-identically to plain
+        // `push` — robustness must not perturb fault-free control.
+        for (t, p) in [
+            (0.20, 376.0),
+            (0.25, 362.5),
+            (0.18, 381.4),
+            (0.30, 349.0),
+            (0.22, 370.6),
+        ] {
+            filtered.push_screened(Ratio::new(t), Watts::new(p), IDLE, CAP_MAX);
+            plain.push(Ratio::new(t), Watts::new(p));
+        }
+        assert_eq!(filtered.estimate(), plain.estimate());
+    }
+
+    #[test]
+    fn clear_resets_median_filter() {
+        let mut est = DemandEstimator::new();
+        for p in [420.0, 460.0, 440.0] {
+            est.push_screened(Ratio::ZERO, Watts::new(p), IDLE, CAP_MAX);
+        }
+        est.clear();
+        // After a clear the filter is back in pass-through: the first new
+        // sample lands in the window verbatim.
+        est.push_screened(Ratio::ZERO, Watts::new(300.0), IDLE, CAP_MAX);
+        assert_eq!(est.estimate(), Some(Watts::new(300.0)));
     }
 
     #[test]

@@ -62,10 +62,15 @@ pub mod workers;
 
 pub use budget::{split_budget, BudgetSplit};
 pub use capping::{CappingController, CombinedBudgetController};
-pub use estimator::DemandEstimator;
+pub use estimator::{DemandEstimator, SampleFate};
 pub use metrics::{LeafInput, MetricEntry, PriorityMetrics};
-pub use plane::{BudgetSource, ControlPlane, Farm, PlaneConfig, RoundReport};
+pub use plane::{
+    BudgetSource, ControlPlane, Farm, PlaneConfig, RoundReport, StalenessConfig,
+};
 pub use policy::{CappingPolicy, GlobalPriority, LocalPriority, NoPriority, PolicyKind};
-pub use spo::{optimize_stranded_power, optimize_stranded_power_iterated, SpoOutcome};
+pub use spo::{
+    optimize_stranded_power, optimize_stranded_power_iterated, optimize_stranded_power_par,
+    SpoOutcome,
+};
 pub use tree::{Allocation, ControlTree, SupplyInput};
-pub use workers::WorkerDeployment;
+pub use workers::{DeploymentConfig, WorkerDeployment};

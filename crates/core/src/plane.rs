@@ -10,17 +10,17 @@
 //! The multi-threaded rack-/room-worker deployment of §5 lives in
 //! [`crate::workers`]; it produces the same decisions, distributed.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use capmaestro_server::{SensorSnapshot, Server};
 use capmaestro_topology::{FeedId, ServerId, SupplyIndex};
 use capmaestro_units::{Ratio, Seconds, Watts};
 
 use crate::capping::CappingController;
-use crate::estimator::DemandEstimator;
+use crate::estimator::{DemandEstimator, SampleFate};
 use crate::par::{par_for_each_mut, par_map, par_map_mut};
 use crate::policy::PolicyKind;
-use crate::spo::optimize_stranded_power;
+use crate::spo::optimize_stranded_power_par;
 use crate::tree::{Allocation, ControlTree, SupplyInput};
 
 /// The population of servers under management, keyed by id.
@@ -160,6 +160,37 @@ impl Default for PlaneConfig {
     }
 }
 
+/// The staleness watchdog / fail-safe degradation knobs (paper §4.2's
+/// safety argument extended to telemetry faults).
+///
+/// Every control round, each managed server either refreshed its telemetry
+/// since the last round (at least one *plausible* sensor reading was
+/// delivered) or it did not. After `stale_after_rounds` consecutive rounds
+/// without a refresh the server is declared **stale**: instead of trusting
+/// a frozen demand estimate forever, the plane budgets it from a fail-safe
+/// demand and clamps its DC cap to match. Over-throttling a blind server
+/// is safe; a tripped breaker is not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StalenessConfig {
+    /// Consecutive telemetry-free control rounds before a server is
+    /// declared stale. Rounds 1..N are the *stale-hold* bridge — the last
+    /// good estimate keeps being used, riding out transient sensor drops.
+    pub stale_after_rounds: u32,
+    /// The AC demand a stale server is budgeted from. `None` (the
+    /// default) means the server's own `Pcap_min` — the most conservative
+    /// budget that is still guaranteed enforceable.
+    pub fail_safe_demand: Option<Watts>,
+}
+
+impl Default for StalenessConfig {
+    fn default() -> Self {
+        StalenessConfig {
+            stale_after_rounds: 3,
+            fail_safe_demand: None,
+        }
+    }
+}
+
 /// What one control round decided.
 #[derive(Debug, Clone)]
 pub struct RoundReport {
@@ -254,6 +285,17 @@ pub struct ControlPlane {
     /// The topology's static priorities, snapshotted at construction so
     /// cleared overrides fall back correctly.
     static_priorities: HashMap<ServerId, capmaestro_topology::Priority>,
+    /// The staleness watchdog configuration.
+    staleness: StalenessConfig,
+    /// Last *plausible* snapshot delivered per server — the only sensor
+    /// data the plane ever acts on. Enforcement reads this cache, not the
+    /// server directly, so a fault layer interposing on delivery affects
+    /// every consumer consistently.
+    telemetry: HashMap<ServerId, SensorSnapshot>,
+    /// Servers that delivered a plausible reading since the last round.
+    fresh: HashSet<ServerId>,
+    /// Consecutive rounds without a plausible reading, per server.
+    stale_rounds: HashMap<ServerId, u32>,
 }
 
 impl ControlPlane {
@@ -301,7 +343,58 @@ impl ControlPlane {
             priority_overrides: HashMap::new(),
             parked: Vec::new(),
             static_priorities,
+            staleness: StalenessConfig::default(),
+            telemetry: HashMap::new(),
+            fresh: HashSet::new(),
+            stale_rounds: HashMap::new(),
         }
+    }
+
+    /// Reconfigures the staleness watchdog (defaults:
+    /// [`StalenessConfig::default`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stale_after_rounds` is zero — every server would be
+    /// permanently stale.
+    pub fn set_staleness(&mut self, config: StalenessConfig) {
+        assert!(
+            config.stale_after_rounds >= 1,
+            "stale_after_rounds must be at least 1"
+        );
+        self.staleness = config;
+    }
+
+    /// The staleness watchdog configuration.
+    pub fn staleness(&self) -> StalenessConfig {
+        self.staleness
+    }
+
+    /// Servers currently declared stale (no plausible telemetry for at
+    /// least `stale_after_rounds` rounds), in id order.
+    pub fn stale_servers(&self) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self
+            .stale_rounds
+            .iter()
+            .filter(|(_, &ctr)| ctr >= self.staleness.stale_after_rounds)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether a server is currently declared stale.
+    pub fn is_stale(&self, id: ServerId) -> bool {
+        self.stale_rounds
+            .get(&id)
+            .is_some_and(|&ctr| ctr >= self.staleness.stale_after_rounds)
+    }
+
+    /// The per-tree root budgets the next round would resolve (the fixed
+    /// budgets, or the demand-proportional split of a shared phase
+    /// budget). Exposed for invariant auditing.
+    pub fn root_budgets_now(&self) -> Vec<Watts> {
+        self.resolve_root_budgets()
     }
 
     /// Resolves the per-tree root budgets for this round. For
@@ -449,29 +542,61 @@ impl ControlPlane {
         self.priority_overrides.remove(&server);
     }
 
+    /// The priority the next control round will allocate this server at:
+    /// its dynamic override when one is set, otherwise the static
+    /// priority recorded at plane construction. `None` for servers the
+    /// plane has never heard of. Auditors use this to check the
+    /// priority-ordering invariant against the same view the allocator
+    /// sees.
+    pub fn effective_priority(
+        &self,
+        server: ServerId,
+    ) -> Option<capmaestro_topology::Priority> {
+        self.priority_overrides
+            .get(&server)
+            .or_else(|| self.static_priorities.get(&server))
+            .copied()
+    }
+
     /// Records one per-second sensor sample for every server (throttle
-    /// level and total AC power), feeding the demand estimators. Sensing
+    /// level and total AC power), feeding the demand estimators through
+    /// plausibility screening and updating the telemetry cache. Sensing
     /// fans out across the farm's configured thread count; the estimator
     /// updates stay in id order, so the result is thread-count
     /// independent.
     pub fn record_sample(&mut self, farm: &Farm) {
-        for (id, snap) in farm.sense_all() {
-            self.estimators
-                .entry(id)
-                .or_default()
-                .push(snap.throttle, snap.total_ac);
-        }
+        self.record_snapshots(farm, &farm.sense_all());
     }
 
-    /// Feeds already-collected sensor snapshots to the demand estimators —
-    /// the allocation-free path for callers (like the simulation engine)
-    /// that sensed the farm this second anyway.
-    pub fn record_snapshots(&mut self, snaps: &[(ServerId, SensorSnapshot)]) {
+    /// Feeds already-delivered sensor snapshots to the demand estimators —
+    /// the path for callers (like the simulation engine) that sensed the
+    /// farm this second anyway, possibly through a fault-injecting
+    /// interposer. A reading absent from `snaps` models a dropped reading.
+    ///
+    /// Each reading is screened against the server's power envelope
+    /// ([`DemandEstimator::push_screened`]); implausible readings are
+    /// discarded and do **not** count as a telemetry refresh, so a sensor
+    /// returning garbage degrades exactly like a silent one.
+    pub fn record_snapshots(&mut self, farm: &Farm, snaps: &[(ServerId, SensorSnapshot)]) {
         for (id, snap) in snaps {
-            self.estimators
-                .entry(*id)
-                .or_default()
-                .push(snap.throttle, snap.total_ac);
+            let estimator = self.estimators.entry(*id).or_default();
+            let fate = match farm.get(*id).map(|s| s.config().model()) {
+                Some(model) => estimator.push_screened(
+                    snap.throttle,
+                    snap.total_ac,
+                    model.idle(),
+                    model.cap_max(),
+                ),
+                // Unknown server: no envelope to screen against.
+                None => {
+                    estimator.push(snap.throttle, snap.total_ac);
+                    SampleFate::Accepted
+                }
+            };
+            if fate == SampleFate::Accepted {
+                self.telemetry.insert(*id, snap.clone());
+                self.fresh.insert(*id);
+            }
         }
     }
 
@@ -501,17 +626,56 @@ impl ControlPlane {
     pub fn run_round(&mut self, farm: &mut Farm) -> RoundReport {
         let threads = farm.parallelism();
 
+        // 0. Staleness bookkeeping: servers that delivered a plausible
+        //    reading since the last round reset their counter; the rest
+        //    age one round. A server crossing the threshold has its
+        //    estimator cleared — whatever the window held predates the
+        //    outage, and an empty window lets `estimate_with_idle` rebuild
+        //    the demand from the first post-recovery samples.
+        for (id, _) in farm.iter() {
+            if self.fresh.contains(&id) {
+                self.stale_rounds.insert(id, 0);
+            } else {
+                let ctr = self.stale_rounds.entry(id).or_insert(0);
+                *ctr += 1;
+                if *ctr == self.staleness.stale_after_rounds {
+                    if let Some(est) = self.estimators.get_mut(&id) {
+                        est.clear();
+                    }
+                }
+            }
+        }
+        self.fresh.clear();
+        let stale: HashSet<ServerId> = self
+            .stale_rounds
+            .iter()
+            .filter(|(_, &ctr)| ctr >= self.staleness.stale_after_rounds)
+            .map(|(&id, _)| id)
+            .collect();
+        let fail_safe = self.staleness.fail_safe_demand;
+
         // 1. Refresh every tree's leaf inputs from estimates and the
         //    servers' live PSU state. Estimates are independent per
-        //    server; each tree's refresh is independent per tree.
+        //    server; each tree's refresh is independent per tree. A stale
+        //    server's demand is its fail-safe value, not a frozen
+        //    estimate.
         let entries: Vec<(ServerId, &Server)> = farm.iter().collect();
         let estimators = &self.estimators;
+        let telemetry = &self.telemetry;
+        let stale_ref = &stale;
         let demands: HashMap<ServerId, Watts> =
             par_map(&entries, threads, |&(id, server)| {
-                let idle = server.config().model().idle();
+                let model = server.config().model();
+                if stale_ref.contains(&id) {
+                    let demand = fail_safe
+                        .unwrap_or_else(|| model.cap_min())
+                        .clamp(model.cap_min(), model.cap_max());
+                    return (id, demand);
+                }
                 let estimate = estimators
                     .get(&id)
-                    .and_then(|e| e.estimate_with_idle(idle))
+                    .and_then(|e| e.estimate_with_idle(model.idle()))
+                    .or_else(|| telemetry.get(&id).map(|snap| snap.total_ac))
                     .unwrap_or_else(|| server.sense().total_ac);
                 (id, estimate)
             })
@@ -554,15 +718,21 @@ impl ControlPlane {
             });
         }
 
-        // 2. Allocate (with or without the stranded-power pass). Without
-        //    SPO the trees are independent, so they allocate concurrently;
-        //    the split *within* each tree stays sequential. The SPO pass
-        //    couples the trees and remains sequential (see ROADMAP).
+        // 2. Allocate (with or without the stranded-power pass). The trees
+        //    are independent within each allocation pass, so both the
+        //    plain path and the two SPO passes allocate concurrently; the
+        //    split *within* each tree and the SPO strand detection stay
+        //    sequential, keeping the round bit-identical for every thread
+        //    count.
         let root_budgets = self.resolve_root_budgets();
         let policy = self.config.policy.policy();
         let (allocations, stranded_reclaimed) = if self.config.spo {
-            let outcome =
-                optimize_stranded_power(&self.trees, &root_budgets, policy.as_ref());
+            let outcome = optimize_stranded_power_par(
+                &self.trees,
+                &root_budgets,
+                policy.as_ref(),
+                threads,
+            );
             (outcome.second.clone(), outcome.total_stranded())
         } else {
             let pairs: Vec<(&ControlTree, Watts)> = self
@@ -575,13 +745,22 @@ impl ControlPlane {
             (allocs, Watts::ZERO)
         };
 
-        // 3. Enforce: sense every server and gather its working supplies'
-        //    budgets and measurements in parallel, then run the stateful
-        //    capping controllers sequentially in id order.
+        // 3. Enforce: pair every server's working supplies' budgets with
+        //    its last *delivered* telemetry in parallel (never a direct
+        //    sensor read — faults must affect enforcement too), then run
+        //    the stateful capping controllers sequentially in id order.
+        //    Stale servers bypass their feedback controller entirely:
+        //    their cap is clamped straight to the fail-safe demand.
         let allocations_ref = &allocations;
         let sensed: Vec<Option<(Vec<Watts>, Vec<Watts>)>> =
             par_map(&entries, threads, |&(id, server)| {
-                let snap = server.sense();
+                if stale_ref.contains(&id) {
+                    return None;
+                }
+                let snap = telemetry
+                    .get(&id)
+                    .cloned()
+                    .unwrap_or_else(|| server.sense());
                 let shares = server.bank().effective_shares();
                 let mut budgets = Vec::new();
                 let mut measured = Vec::new();
@@ -607,10 +786,23 @@ impl ControlPlane {
         drop(entries);
         let mut dc_caps = HashMap::new();
         for ((id, server), work) in farm.iter_mut().zip(sensed) {
+            let model = server.config().model();
+            if stale.contains(&id) {
+                let demand_ac = fail_safe
+                    .unwrap_or_else(|| model.cap_min())
+                    .clamp(model.cap_min(), model.cap_max());
+                let efficiency = server.bank().efficiency();
+                let controller = self.controllers.entry(id).or_insert_with(|| {
+                    CappingController::new(model.cap_min(), model.cap_max(), efficiency)
+                });
+                let cap = controller.force_dc_cap(demand_ac * efficiency);
+                server.set_dc_cap(cap);
+                dc_caps.insert(id, cap);
+                continue;
+            }
             let Some((budgets, measured)) = work else {
                 continue;
             };
-            let model = server.config().model();
             let controller = self.controllers.entry(id).or_insert_with(|| {
                 CappingController::new(
                     model.cap_min(),
@@ -836,6 +1028,134 @@ mod tests {
             total_after > Watts::new(1200.0),
             "survivor should inherit the shared budget, got {total_after}"
         );
+    }
+
+    /// Runs `periods` control periods during which `dark` servers deliver
+    /// no telemetry (their snapshots are withheld from the plane).
+    fn run_periods_with_dropped(
+        plane: &mut ControlPlane,
+        farm: &mut Farm,
+        periods: usize,
+        dark: &[ServerId],
+    ) {
+        for _ in 0..periods {
+            for _ in 0..8 {
+                let snaps: Vec<(ServerId, SensorSnapshot)> = farm
+                    .sense_all()
+                    .into_iter()
+                    .filter(|(id, _)| !dark.contains(id))
+                    .collect();
+                plane.record_snapshots(farm, &snaps);
+                farm.step_all(Seconds::new(1.0));
+            }
+            plane.run_round(farm);
+        }
+    }
+
+    #[test]
+    fn dropped_telemetry_degrades_to_fail_safe_cap() {
+        let (topo, mut farm, mut plane) = fig2_plane(PolicyKind::GlobalPriority);
+        let sb = topo.server_by_name("SB").unwrap();
+        run_periods(&mut plane, &mut farm, 4);
+        assert!(!plane.is_stale(sb));
+
+        // SB's readings stop being delivered. For stale_after_rounds − 1
+        // rounds the plane stale-holds on the last estimate…
+        run_periods_with_dropped(&mut plane, &mut farm, 2, &[sb]);
+        assert!(!plane.is_stale(sb), "stale-hold bridge, not yet stale");
+
+        // …then SB is declared stale and clamped to fail-safe (cap_min).
+        run_periods_with_dropped(&mut plane, &mut farm, 2, &[sb]);
+        assert!(plane.is_stale(sb));
+        assert_eq!(plane.stale_servers(), vec![sb]);
+        let model = farm.get(sb).unwrap().config().model();
+        let eff = farm.get(sb).unwrap().bank().efficiency();
+        let dc_cap = farm.get(sb).unwrap().dc_cap().unwrap();
+        assert!(
+            (dc_cap.as_f64() - (model.cap_min() * eff).as_f64()).abs() < 1e-9,
+            "stale server should be clamped to cap_min DC, got {dc_cap}"
+        );
+    }
+
+    #[test]
+    fn stale_server_rejoins_budgeting_after_telemetry_returns() {
+        let (topo, mut farm, mut plane) = fig2_plane(PolicyKind::GlobalPriority);
+        let sb = topo.server_by_name("SB").unwrap();
+        run_periods(&mut plane, &mut farm, 4);
+        let healthy_cap = farm.get(sb).unwrap().dc_cap().unwrap();
+
+        run_periods_with_dropped(&mut plane, &mut farm, 4, &[sb]);
+        assert!(plane.is_stale(sb));
+
+        // Telemetry returns: freshness clears on the next round, and the
+        // cleared estimator re-learns the demand within two rounds.
+        run_periods(&mut plane, &mut farm, 2);
+        assert!(!plane.is_stale(sb));
+        let recovered_cap = farm.get(sb).unwrap().dc_cap().unwrap();
+        assert!(
+            (recovered_cap.as_f64() - healthy_cap.as_f64()).abs()
+                < 0.02 * healthy_cap.as_f64(),
+            "cap should recover within 2% of {healthy_cap}, got {recovered_cap}"
+        );
+    }
+
+    #[test]
+    fn implausible_readings_count_as_missing_telemetry() {
+        let (topo, mut farm, mut plane) = fig2_plane(PolicyKind::GlobalPriority);
+        let sb = topo.server_by_name("SB").unwrap();
+        run_periods(&mut plane, &mut farm, 2);
+        // SB's sensor goes insane: 10 kW readings, screened out.
+        for _ in 0..4 {
+            for _ in 0..8 {
+                let snaps: Vec<(ServerId, SensorSnapshot)> = farm
+                    .sense_all()
+                    .into_iter()
+                    .map(|(id, snap)| {
+                        if id == sb {
+                            (id, snap.scaled(25.0))
+                        } else {
+                            (id, snap)
+                        }
+                    })
+                    .collect();
+                plane.record_snapshots(&farm, &snaps);
+                farm.step_all(Seconds::new(1.0));
+            }
+            plane.run_round(&mut farm);
+        }
+        assert!(
+            plane.is_stale(sb),
+            "garbage readings must degrade like silence"
+        );
+    }
+
+    #[test]
+    fn fail_safe_demand_is_configurable() {
+        let (topo, mut farm, mut plane) = fig2_plane(PolicyKind::GlobalPriority);
+        let sb = topo.server_by_name("SB").unwrap();
+        plane.set_staleness(StalenessConfig {
+            stale_after_rounds: 1,
+            fail_safe_demand: Some(Watts::new(300.0)),
+        });
+        run_periods(&mut plane, &mut farm, 2);
+        run_periods_with_dropped(&mut plane, &mut farm, 2, &[sb]);
+        assert!(plane.is_stale(sb));
+        let eff = farm.get(sb).unwrap().bank().efficiency();
+        let dc_cap = farm.get(sb).unwrap().dc_cap().unwrap();
+        assert!(
+            (dc_cap.as_f64() - (Watts::new(300.0) * eff).as_f64()).abs() < 1e-9,
+            "configured fail-safe demand should set the cap, got {dc_cap}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_stale_after_rejected() {
+        let (_, _, mut plane) = fig2_plane(PolicyKind::GlobalPriority);
+        plane.set_staleness(StalenessConfig {
+            stale_after_rounds: 0,
+            fail_safe_demand: None,
+        });
     }
 
     #[test]

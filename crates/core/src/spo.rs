@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use capmaestro_topology::{ServerId, SupplyIndex};
 use capmaestro_units::Watts;
 
+use crate::par::{par_for_each_mut, par_map};
 use crate::policy::CappingPolicy;
 use crate::tree::{Allocation, ControlTree, SupplyInput};
 
@@ -193,44 +194,13 @@ pub fn optimize_stranded_power(
         .map(|(t, &b)| t.allocate(b, policy))
         .collect();
 
-    // Detect stranded budget per supply.
-    let views = collect_server_views(trees, &first);
-    let mut stranded: HashMap<(ServerId, SupplyIndex), Watts> = HashMap::new();
-    let mut adjusted: HashMap<(ServerId, SupplyIndex), Watts> = HashMap::new();
-    for (&server, view) in &views {
-        let actual = achievable_consumption(view);
-        for &(_, supply, share, budget) in &view.supplies {
-            let usable = actual * share;
-            let strand = budget.saturating_sub(usable);
-            if strand > STRAND_EPSILON {
-                stranded.insert((server, supply), strand);
-                adjusted.insert((server, supply), actual);
-            }
-        }
-    }
+    let (stranded, adjusted) = detect_strands(trees, &first);
 
     // Pass 2: shrink stranded supplies' demand/constraint to what they can
     // use, then re-allocate so the freed power moves elsewhere on the feed.
     let mut trees2: Vec<ControlTree> = trees.to_vec();
     for tree in &mut trees2 {
-        let spec_len = tree.spec().len();
-        for idx in 0..spec_len {
-            let Some(leaf) = tree.spec().node(idx).leaf else {
-                continue;
-            };
-            let Some(&actual) = adjusted.get(&(leaf.server, leaf.supply)) else {
-                continue;
-            };
-            let Some(&input) = tree.input_at(idx) else {
-                continue;
-            };
-            let new_input = SupplyInput {
-                demand: actual,
-                cap_max: actual.max(input.cap_min),
-                ..input
-            };
-            tree.set_supply_input(leaf.server, leaf.supply, new_input);
-        }
+        shrink_stranded_inputs(tree, &adjusted);
     }
     let second: Vec<Allocation> = trees2
         .iter()
@@ -242,6 +212,108 @@ pub fn optimize_stranded_power(
         first,
         second,
         stranded,
+    }
+}
+
+/// [`optimize_stranded_power`] with both allocation passes (and the
+/// per-tree input adjustment between them) fanned out across `threads`
+/// scoped threads. Trees allocate independently within each pass; the
+/// strand detection that couples them stays sequential, so the outcome is
+/// bit-identical to the sequential version for every thread count.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn optimize_stranded_power_par(
+    trees: &[ControlTree],
+    root_budgets: &[Watts],
+    policy: &(dyn CappingPolicy + Sync),
+    threads: usize,
+) -> SpoOutcome {
+    if threads <= 1 {
+        return optimize_stranded_power(trees, root_budgets, policy);
+    }
+    assert_eq!(
+        trees.len(),
+        root_budgets.len(),
+        "one root budget per tree is required"
+    );
+    let allocate_all = |ts: &[ControlTree]| -> Vec<Allocation> {
+        let pairs: Vec<(&ControlTree, Watts)> =
+            ts.iter().zip(root_budgets.iter().copied()).collect();
+        par_map(&pairs, threads, |&(t, b)| t.allocate(b, policy))
+    };
+
+    let first = allocate_all(trees);
+    let (stranded, adjusted) = detect_strands(trees, &first);
+    let mut trees2: Vec<ControlTree> = trees.to_vec();
+    let adjusted_ref = &adjusted;
+    par_for_each_mut(&mut trees2, threads, |tree| {
+        shrink_stranded_inputs(tree, adjusted_ref);
+    });
+    let second = allocate_all(&trees2);
+
+    SpoOutcome {
+        first,
+        second,
+        stranded,
+    }
+}
+
+/// Finds stranded budget per supply after a first-pass allocation. The
+/// detection couples trees (a dual-corded server's supplies live in
+/// different trees), so it runs sequentially in both SPO variants.
+/// Returns `(stranded amount, achievable consumption)` keyed by supply,
+/// the latter only for supplies worth shrinking.
+#[allow(clippy::type_complexity)]
+fn detect_strands(
+    trees: &[ControlTree],
+    first: &[Allocation],
+) -> (
+    HashMap<(ServerId, SupplyIndex), Watts>,
+    HashMap<(ServerId, SupplyIndex), Watts>,
+) {
+    let views = collect_server_views(trees, first);
+    let mut stranded = HashMap::new();
+    let mut adjusted = HashMap::new();
+    for (&server, view) in &views {
+        let actual = achievable_consumption(view);
+        for &(_, supply, share, budget) in &view.supplies {
+            let usable = actual * share;
+            let strand = budget.saturating_sub(usable);
+            if strand > STRAND_EPSILON {
+                stranded.insert((server, supply), strand);
+                adjusted.insert((server, supply), actual);
+            }
+        }
+    }
+    (stranded, adjusted)
+}
+
+/// Shrinks a tree's stranded leaves' demand/constraint to their achievable
+/// consumption (the pass-2 input adjustment). Writes only to `tree`, so
+/// trees can be adjusted concurrently.
+fn shrink_stranded_inputs(
+    tree: &mut ControlTree,
+    adjusted: &HashMap<(ServerId, SupplyIndex), Watts>,
+) {
+    let spec_len = tree.spec().len();
+    for idx in 0..spec_len {
+        let Some(leaf) = tree.spec().node(idx).leaf else {
+            continue;
+        };
+        let Some(&actual) = adjusted.get(&(leaf.server, leaf.supply)) else {
+            continue;
+        };
+        let Some(&input) = tree.input_at(idx) else {
+            continue;
+        };
+        let new_input = SupplyInput {
+            demand: actual,
+            cap_max: actual.max(input.cap_min),
+            ..input
+        };
+        tree.set_supply_input(leaf.server, leaf.supply, new_input);
     }
 }
 
@@ -438,6 +510,20 @@ mod tests {
         assert_eq!(outcome.total_stranded(), Watts::ZERO);
         // Second pass equals the first.
         assert_eq!(outcome.first[0], outcome.second[0]);
+    }
+
+    #[test]
+    fn parallel_spo_is_bit_identical_to_sequential() {
+        let (_, trees) = fig7a_trees();
+        let budgets = vec![Watts::new(700.0), Watts::new(700.0)];
+        let policy = GlobalPriority::new();
+        let seq = optimize_stranded_power(&trees, &budgets, &policy);
+        for threads in [1, 2, 3, 8] {
+            let par = optimize_stranded_power_par(&trees, &budgets, &policy, threads);
+            assert_eq!(seq.first, par.first, "pass-1 mismatch at {threads} threads");
+            assert_eq!(seq.second, par.second, "pass-2 mismatch at {threads} threads");
+            assert_eq!(seq.stranded, par.stranded);
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
@@ -35,9 +36,34 @@ use crate::tree::ControlTree;
 /// Identifies a cut node: `(tree index, spec node index)`.
 pub type CutId = (usize, usize);
 
-/// How long the room worker waits for rack metrics before budgeting from
-/// stale data (a real deployment tunes this against its control period).
-pub const GATHER_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(500);
+/// Tunables of the distributed deployment, passed to
+/// [`WorkerDeployment::spawn`]. Real deployments tune these against their
+/// control period; tests shrink them to keep fault scenarios fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploymentConfig {
+    /// How long the room worker waits for rack metrics each round before
+    /// budgeting from stale data.
+    pub gather_timeout: Duration,
+    /// Base delay between [`WorkerDeployment::respawn_worker`] attempts
+    /// for the same worker; doubles per consecutive attempt (capped at
+    /// `base × 2⁶`) until the worker reports again.
+    pub respawn_backoff: Duration,
+    /// Consecutive rounds a cut node may miss reporting before the room
+    /// worker stops trusting its frozen metrics and budgets it from
+    /// fail-safe metrics (every leaf at its `cap_min`) instead. Rounds
+    /// 1..N are the stale-hold bridge.
+    pub stale_after_rounds: u64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            gather_timeout: Duration::from_millis(500),
+            respawn_backoff: Duration::from_millis(500),
+            stale_after_rounds: 3,
+        }
+    }
+}
 
 /// A farm shared between rack workers, guarded by a read-write lock —
 /// the stand-in for the IPMI transport to real hardware.
@@ -91,18 +117,31 @@ pub struct WorkerDeployment {
     root_budgets: Vec<Watts>,
     policy: PolicyKind,
     farm: SharedFarm,
+    config: DeploymentConfig,
     handles: Vec<JoinHandle<()>>,
     /// `None` marks a worker known to be dead (killed via
     /// [`WorkerDeployment::kill_worker`] or observed unreachable): gather
-    /// must not wait on it, or every round eats the full
-    /// [`GATHER_TIMEOUT`].
+    /// must not wait on it, or every round eats the full gather timeout.
     to_workers: Vec<Option<Sender<DownMsg>>>,
     from_workers: Receiver<UpMsg>,
+    /// Kept to hand to respawned workers.
+    up_tx: Sender<UpMsg>,
     /// Cut node ids per tree, in spec order.
     cuts_per_tree: Vec<Vec<usize>>,
+    /// Each worker's static responsibility, kept so
+    /// [`WorkerDeployment::respawn_worker`] can restart a dead worker with
+    /// the assignment it held.
+    assignments: Vec<RackAssignment>,
     worker_count: usize,
     /// Freshest metrics seen per cut node (stale-hold fault tolerance).
     last_cut_metrics: HashMap<CutId, PriorityMetrics>,
+    /// The round at which each cut node last reported, driving the
+    /// stale-hold → fail-safe degradation.
+    last_report_round: HashMap<CutId, u64>,
+    /// Consecutive respawn attempts per worker since it last reported.
+    respawn_attempts: Vec<u32>,
+    /// Earliest instant the next respawn attempt per worker is allowed.
+    respawn_not_before: Vec<Instant>,
 }
 
 /// Returns the leaf-parent (cut) node indices of a tree spec.
@@ -132,6 +171,7 @@ impl WorkerDeployment {
         policy: PolicyKind,
         farm: SharedFarm,
         worker_count: usize,
+        config: DeploymentConfig,
     ) -> Self {
         assert!(worker_count > 0, "at least one rack worker is required");
         assert_eq!(
@@ -169,12 +209,13 @@ impl WorkerDeployment {
         let (up_tx, from_workers) = unbounded::<UpMsg>();
         let mut to_workers = Vec::with_capacity(worker_count);
         let mut handles = Vec::with_capacity(worker_count);
-        for (w, assignment) in assignments.into_iter().enumerate() {
+        for (w, assignment) in assignments.iter().enumerate() {
             let (down_tx, down_rx) = unbounded::<DownMsg>();
             to_workers.push(Some(down_tx));
             let up = up_tx.clone();
             let farm = Arc::clone(&farm);
             let trees = trees.clone();
+            let assignment = assignment.clone();
             handles.push(
                 thread::Builder::new()
                     .name(format!("rack-worker-{w}"))
@@ -185,18 +226,30 @@ impl WorkerDeployment {
             );
         }
 
+        let now = Instant::now();
         WorkerDeployment {
             trees,
             root_budgets,
             policy,
             farm,
+            config,
             handles,
             to_workers,
             from_workers,
+            up_tx,
             cuts_per_tree,
+            assignments,
             worker_count,
             last_cut_metrics: HashMap::new(),
+            last_report_round: HashMap::new(),
+            respawn_attempts: vec![0; worker_count],
+            respawn_not_before: vec![now; worker_count],
         }
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> DeploymentConfig {
+        self.config
     }
 
     /// Number of rack workers.
@@ -208,13 +261,16 @@ impl WorkerDeployment {
     /// aggregation + budgeting (room) → enforce (rack, parallel).
     /// Returns the budgets assigned to each cut node.
     ///
-    /// **Fault tolerance**: a rack worker that does not answer within
-    /// [`GATHER_TIMEOUT`] is skipped for the round and the room worker
-    /// budgets its cut nodes from the *last metrics it reported* — the
-    /// stale-hold behaviour a production control plane needs so one sick
-    /// VM cannot stall capping for the whole data center. Cut nodes that
-    /// have never reported fall back to empty metrics (they receive no
-    /// budget until their worker appears).
+    /// **Fault tolerance — the degradation ladder.** A rack worker that
+    /// does not answer within the configured gather timeout is skipped for
+    /// the round; for up to `stale_after_rounds` rounds the room worker
+    /// budgets its cut nodes from the *last metrics it reported*
+    /// (stale-hold), so one sick VM cannot stall capping for the whole
+    /// data center. Beyond that, the frozen metrics can no longer be
+    /// trusted — a stuck sensor looks exactly like this — and the cut is
+    /// budgeted from **fail-safe metrics**: every leaf at its `cap_min`
+    /// demand. Cut nodes that have never reported are budgeted fail-safe
+    /// from the first round.
     pub fn run_round(&mut self, round: u64) -> HashMap<CutId, Watts> {
         // Phase 1: gather. A send error means the worker is gone — mark it
         // dead so no later round waits on it, and rely on its cached
@@ -230,11 +286,11 @@ impl WorkerDeployment {
                 *slot = None;
             }
         }
-        let deadline = std::time::Instant::now() + GATHER_TIMEOUT;
+        let deadline = Instant::now() + self.config.gather_timeout;
         let mut reported = vec![false; self.worker_count];
         let mut answers = 0usize;
         while answers < expected {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 break;
             }
@@ -244,11 +300,13 @@ impl WorkerDeployment {
                     round: r,
                     metrics,
                 }) => {
+                    self.respawn_attempts[worker] = 0;
                     if r != round {
                         // A late answer to an earlier round: its metrics
                         // are still fresher than whatever we hold.
                         for (cut, m) in metrics {
                             self.last_cut_metrics.insert(cut, m);
+                            self.last_report_round.insert(cut, r);
                         }
                         continue;
                     }
@@ -258,6 +316,7 @@ impl WorkerDeployment {
                     }
                     for (cut, m) in metrics {
                         self.last_cut_metrics.insert(cut, m);
+                        self.last_report_round.insert(cut, round);
                     }
                 }
                 Err(_) => break, // timeout or all senders dropped
@@ -266,16 +325,18 @@ impl WorkerDeployment {
 
         // Phase 2: the room worker allocates over each tree's upper part,
         // treating cut nodes as pseudo-leaves with the freshest metrics it
-        // holds for each.
+        // holds — or fail-safe metrics for cuts past the staleness
+        // threshold.
+        let effective = self.effective_cut_metrics(round);
         let mut cut_budgets: HashMap<CutId, Watts> = HashMap::new();
         let policy = self.policy.policy();
         for (t, tree) in self.trees.iter().enumerate() {
-            let last = &self.last_cut_metrics;
             let budgets = room_allocate_upper(
                 tree,
                 &self.cuts_per_tree[t],
                 |cut| {
-                    last.get(&(t, cut))
+                    effective
+                        .get(&(t, cut))
                         .cloned()
                         .unwrap_or_else(PriorityMetrics::empty)
                 },
@@ -297,6 +358,118 @@ impl WorkerDeployment {
         cut_budgets
     }
 
+    /// The metrics the room worker will trust per cut node at `round`:
+    /// the freshest report while within `stale_after_rounds`, fail-safe
+    /// metrics (every leaf pinned to its `cap_min` demand) beyond — a
+    /// dead worker's frozen report is indistinguishable from a stuck
+    /// sensor, so after the bridge the room stops believing it.
+    fn effective_cut_metrics(&self, round: u64) -> HashMap<CutId, PriorityMetrics> {
+        let policy = self.policy.policy();
+        let mut out = HashMap::new();
+        let mut farm_guard: Option<std::sync::RwLockReadGuard<'_, crate::plane::Farm>> =
+            None;
+        for assignment in &self.assignments {
+            for (cut, leaves) in &assignment.cuts {
+                let fresh_enough = self
+                    .last_report_round
+                    .get(cut)
+                    .is_some_and(|&r| round.saturating_sub(r) < self.config.stale_after_rounds);
+                if fresh_enough {
+                    if let Some(m) = self.last_cut_metrics.get(cut) {
+                        out.insert(*cut, m.clone());
+                        continue;
+                    }
+                }
+                // Fail-safe: rebuild the cut's metrics from the topology
+                // and PSU state alone, demanding only cap_min per leaf.
+                let farm = farm_guard.get_or_insert_with(|| self.farm.read());
+                let (t, cut_idx) = *cut;
+                let spec = self.trees[t].spec();
+                let mut children = Vec::with_capacity(leaves.len());
+                for &(leaf_idx, server, supply) in leaves {
+                    let leaf = spec.node(leaf_idx).leaf.expect("leaf");
+                    let Some(srv) = farm.get(server) else {
+                        continue;
+                    };
+                    let model = srv.config().model();
+                    let shares = srv.bank().effective_shares();
+                    let share = shares
+                        .get(supply.index())
+                        .copied()
+                        .unwrap_or(Ratio::ZERO);
+                    children.push(PriorityMetrics::from_leaf(&LeafInput {
+                        demand: model.cap_min(),
+                        cap_min: model.cap_min(),
+                        cap_max: model.cap_max(),
+                        share,
+                        priority: leaf.priority,
+                    }));
+                }
+                let ctx = NodeContext {
+                    is_leaf_parent: true,
+                    depth: 0,
+                };
+                let children = match policy.visibility(ctx) {
+                    PriorityVisibility::Full => children,
+                    PriorityVisibility::Blind => {
+                        children.iter().map(PriorityMetrics::collapsed).collect()
+                    }
+                };
+                out.insert(
+                    *cut,
+                    PriorityMetrics::aggregate(children.iter(), spec.node(cut_idx).limit),
+                );
+            }
+        }
+        out
+    }
+
+    /// Whether a worker's channel is still open (it has not been killed or
+    /// observed dead).
+    pub fn is_worker_alive(&self, worker: usize) -> bool {
+        self.to_workers.get(worker).is_some_and(Option::is_some)
+    }
+
+    /// Restarts a dead rack worker with the assignment it held. Returns
+    /// `false` without side effects when the worker is still alive, the
+    /// index is out of range, or the exponential backoff since the last
+    /// attempt has not elapsed yet (`respawn_backoff × 2^attempts`,
+    /// attempts capped at 6 and reset when the worker reports).
+    ///
+    /// The respawned worker starts with empty estimators and controllers —
+    /// exactly like a replacement VM — so its demand estimates rebuild
+    /// from the first gather after the respawn.
+    pub fn respawn_worker(&mut self, worker: usize) -> bool {
+        if worker >= self.worker_count || self.is_worker_alive(worker) {
+            return false;
+        }
+        let now = Instant::now();
+        if now < self.respawn_not_before[worker] {
+            return false;
+        }
+        let attempts = self.respawn_attempts[worker];
+        let backoff = self.config.respawn_backoff * 2u32.saturating_pow(attempts.min(6));
+        self.respawn_not_before[worker] = now + backoff;
+        self.respawn_attempts[worker] = attempts.saturating_add(1);
+
+        let (down_tx, down_rx) = unbounded::<DownMsg>();
+        let up = self.up_tx.clone();
+        let farm = Arc::clone(&self.farm);
+        let trees = self.trees.clone();
+        let assignment = self.assignments[worker].clone();
+        let policy = self.policy;
+        self.handles.push(
+            thread::Builder::new()
+                .name(format!("rack-worker-{worker}-respawn"))
+                .spawn(move || {
+                    rack_worker_loop(worker, assignment, trees, policy, farm, up, down_rx)
+                })
+                .expect("spawning a rack worker thread"),
+        );
+        self.to_workers[worker] = Some(down_tx);
+        true
+    }
+
     /// Shuts one rack worker down (for fault-injection tests and rolling
     /// maintenance). Subsequent rounds hold its last metrics.
     ///
@@ -304,8 +477,8 @@ impl WorkerDeployment {
     /// queued: the worker drains its queue and exits, and — critically —
     /// gather never again counts it as expected. Before this, a killed
     /// worker's channel kept accepting `Gather` messages, so every later
-    /// round blocked for the full [`GATHER_TIMEOUT`] waiting on a reply
-    /// that could never come.
+    /// round blocked for the full gather timeout waiting on a reply that
+    /// could never come.
     pub fn kill_worker(&mut self, worker: usize) {
         if let Some(slot) = self.to_workers.get_mut(worker) {
             if let Some(tx) = slot.take() {
@@ -529,12 +702,19 @@ fn rack_worker_loop(
                     out.push((*cut, aggregated));
                 }
                 drop(farm);
-                up.send(UpMsg::Metrics {
-                    worker,
-                    round,
-                    metrics: out,
-                })
-                .expect("room worker alive");
+                // The room side being gone is a normal shutdown order, not
+                // a rack-worker bug: exit the loop instead of panicking
+                // (and aborting the whole process in release builds).
+                if up
+                    .send(UpMsg::Metrics {
+                        worker,
+                        round,
+                        metrics: out,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
             }
             DownMsg::Budgets { budgets } => {
                 // Split each of our cut budgets to leaves.
@@ -659,6 +839,7 @@ mod tests {
             PolicyKind::GlobalPriority,
             Arc::clone(&farm),
             2,
+            DeploymentConfig::default(),
         );
         deployment.run_rounds(10, 8);
         deployment.shutdown();
@@ -708,6 +889,7 @@ mod tests {
             PolicyKind::GlobalPriority,
             Arc::clone(&farm),
             2,
+            DeploymentConfig::default(),
         );
         let cut_budgets = deployment.run_round(0);
         deployment.shutdown();
@@ -732,6 +914,7 @@ mod tests {
             PolicyKind::GlobalPriority,
             Arc::clone(&farm),
             2,
+            DeploymentConfig::default(),
         );
         // A healthy first round caches every cut's metrics.
         let healthy = deployment.run_round(0);
@@ -756,7 +939,7 @@ mod tests {
     fn killed_worker_rounds_skip_the_gather_timeout() {
         // Regression: kill_worker used to leave the dead worker's Sender in
         // place, so `send(Gather)` kept succeeding and every subsequent
-        // round blocked for the full GATHER_TIMEOUT waiting on a reply the
+        // round blocked for the full gather timeout waiting on a reply the
         // dead worker could never produce.
         let (_, farm, trees) = fig2_shared_farm();
         let mut deployment = WorkerDeployment::spawn(
@@ -765,6 +948,7 @@ mod tests {
             PolicyKind::GlobalPriority,
             Arc::clone(&farm),
             2,
+            DeploymentConfig::default(),
         );
         deployment.run_round(0);
         deployment.kill_worker(0);
@@ -775,7 +959,7 @@ mod tests {
         // The surviving worker answers in microseconds; leave generous CI
         // slack while staying far below the 500 ms stale-hold timeout.
         assert!(
-            elapsed < GATHER_TIMEOUT / 2,
+            elapsed < deployment.config().gather_timeout / 2,
             "degraded round took {elapsed:?}; dead worker still counted as expected"
         );
         deployment.shutdown();
@@ -790,6 +974,7 @@ mod tests {
             PolicyKind::NoPriority,
             farm,
             3,
+            DeploymentConfig::default(),
         );
         assert_eq!(deployment.worker_count(), 3);
         deployment.shutdown();
@@ -805,6 +990,176 @@ mod tests {
             PolicyKind::NoPriority,
             farm,
             0,
+            DeploymentConfig::default(),
         );
+    }
+
+    /// Steps the shared farm `seconds` simulated seconds.
+    fn step_farm(farm: &SharedFarm, seconds: u32) {
+        let mut farm = farm.write();
+        for _ in 0..seconds {
+            farm.step_all(Seconds::new(1.0));
+        }
+    }
+
+    /// The combined stuck-sensor + dead-worker acceptance scenario: a dead
+    /// worker's frozen metrics ARE a stuck sensor from the room's point of
+    /// view. The affected cut must be stale-held first, clamped to
+    /// fail-safe (Σ cap_min) after `stale_after_rounds`, and rejoin normal
+    /// budgeting within 2 rounds of `respawn_worker`.
+    #[test]
+    fn stuck_metrics_degrade_to_fail_safe_and_recover_on_respawn() {
+        let (_, farm, trees) = fig2_shared_farm();
+        let config = DeploymentConfig {
+            respawn_backoff: Duration::from_millis(1),
+            ..DeploymentConfig::default()
+        };
+        let mut deployment = WorkerDeployment::spawn(
+            trees,
+            vec![Watts::new(1240.0)],
+            PolicyKind::GlobalPriority,
+            Arc::clone(&farm),
+            2,
+            config,
+        );
+        // Healthy rounds: estimators converge, budgets settle.
+        let mut round = 0u64;
+        let mut healthy = HashMap::new();
+        for _ in 0..6 {
+            healthy = deployment.run_round(round);
+            step_farm(&farm, 8);
+            round += 1;
+        }
+        // Worker 0 dies. Its servers' demand changes underneath it, so the
+        // frozen metrics are provably wrong — exactly a stuck sensor.
+        deployment.kill_worker(0);
+        let dead_cut: CutId = deployment.assignments[0].cuts[0].0;
+        let dead_servers: Vec<ServerId> = deployment.assignments[0]
+            .cuts
+            .iter()
+            .flat_map(|(_, leaves)| leaves.iter().map(|&(_, s, _)| s))
+            .collect();
+        {
+            let mut farm = farm.write();
+            for &s in &dead_servers {
+                farm.get_mut(s).unwrap().set_offered_demand(Watts::new(480.0));
+            }
+        }
+
+        // Stale-hold bridge: budgets stay at the frozen (healthy) values.
+        for _ in 0..deployment.config().stale_after_rounds - 1 {
+            let held = deployment.run_round(round);
+            step_farm(&farm, 8);
+            round += 1;
+            assert!(
+                held[&dead_cut].approx_eq(healthy[&dead_cut], Watts::new(1.0)),
+                "stale-hold should freeze the dead cut's budget"
+            );
+        }
+
+        // Past the threshold: the cut is budgeted from fail-safe metrics —
+        // each leaf demands only cap_min (270 W), so the cut's budget
+        // collapses to ~Σ cap_min of its leaves.
+        let degraded = deployment.run_round(round);
+        step_farm(&farm, 8);
+        round += 1;
+        let cap_min_sum: Watts = {
+            let farm = farm.read();
+            dead_servers
+                .iter()
+                .map(|&s| farm.get(s).unwrap().config().model().cap_min())
+                .sum()
+        };
+        let fail_safe_budget = degraded[&dead_cut];
+        assert!(
+            fail_safe_budget <= cap_min_sum + Watts::new(1.0),
+            "fail-safe budget {fail_safe_budget} should collapse to ≤ Σ cap_min {cap_min_sum}"
+        );
+        assert!(
+            fail_safe_budget < healthy[&dead_cut] - Watts::new(50.0),
+            "fail-safe budget should be well below the healthy {}",
+            healthy[&dead_cut]
+        );
+
+        // Respawn: the replacement worker reports real metrics (demand is
+        // back at 420 W) and the cut rejoins normal budgeting within 2
+        // rounds.
+        {
+            let mut farm = farm.write();
+            for &s in &dead_servers {
+                farm.get_mut(s).unwrap().set_offered_demand(Watts::new(420.0));
+            }
+        }
+        assert!(deployment.respawn_worker(0), "respawn should succeed");
+        assert!(deployment.is_worker_alive(0));
+        let mut recovered = HashMap::new();
+        for _ in 0..2 {
+            recovered = deployment.run_round(round);
+            step_farm(&farm, 8);
+            round += 1;
+        }
+        assert!(
+            recovered[&dead_cut].approx_eq(healthy[&dead_cut], Watts::new(10.0)),
+            "cut budget should recover to ~{} within 2 rounds, got {}",
+            healthy[&dead_cut],
+            recovered[&dead_cut]
+        );
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn respawn_respects_backoff_and_aliveness() {
+        let (_, farm, trees) = fig2_shared_farm();
+        let mut deployment = WorkerDeployment::spawn(
+            trees,
+            vec![Watts::new(1240.0)],
+            PolicyKind::GlobalPriority,
+            Arc::clone(&farm),
+            2,
+            DeploymentConfig {
+                respawn_backoff: Duration::from_secs(3600),
+                ..DeploymentConfig::default()
+            },
+        );
+        // Alive workers cannot be respawned; out-of-range is rejected.
+        assert!(!deployment.respawn_worker(0));
+        assert!(!deployment.respawn_worker(99));
+        deployment.kill_worker(0);
+        assert!(!deployment.is_worker_alive(0));
+        // First attempt goes through immediately…
+        assert!(deployment.respawn_worker(0));
+        deployment.kill_worker(0);
+        // …the second is throttled by the (here: huge) backoff.
+        assert!(
+            !deployment.respawn_worker(0),
+            "second respawn must wait out the backoff"
+        );
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn never_reported_cut_is_budgeted_fail_safe_not_empty() {
+        let (_, farm, trees) = fig2_shared_farm();
+        let mut deployment = WorkerDeployment::spawn(
+            trees,
+            vec![Watts::new(1240.0)],
+            PolicyKind::GlobalPriority,
+            Arc::clone(&farm),
+            2,
+            DeploymentConfig::default(),
+        );
+        // Kill worker 0 before any round: its cuts never report.
+        deployment.kill_worker(0);
+        let budgets = deployment.run_round(0);
+        assert_eq!(budgets.len(), 2);
+        let dead_cut: CutId = deployment.assignments[0].cuts[0].0;
+        // Fail-safe, not zero: the blind cut still gets ≥ its cap_min sum
+        // … well, ≥ something clearly non-zero.
+        assert!(
+            budgets[&dead_cut] > Watts::new(100.0),
+            "never-reported cut should receive a fail-safe budget, got {}",
+            budgets[&dead_cut]
+        );
+        deployment.shutdown();
     }
 }

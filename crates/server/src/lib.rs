@@ -41,9 +41,11 @@ pub mod partitions;
 pub mod power_model;
 pub mod psu;
 mod server;
+pub mod telemetry;
 
 pub use node_manager::NodeManager;
 pub use partitions::{PartitionSet, VirtualPartition};
 pub use power_model::{PowerCurve, ServerPowerModel};
 pub use psu::{PowerSupply, PsuBank, SupplyState};
 pub use server::{SensorSnapshot, Server, ServerConfig};
+pub use telemetry::{CleanSensePath, SenseInterposer};

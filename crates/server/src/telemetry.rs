@@ -1,0 +1,135 @@
+//! The sense-path interposition hook.
+//!
+//! CapMaestro's safety argument (paper §4.2–§4.3) assumes the control
+//! plane reacts correctly when sensing misbehaves: IPMI reads get dropped,
+//! sensors stick or go noisy, controller VMs crash. Everything the control
+//! plane *sees* flows through [`Server::sense`](crate::Server::sense) —
+//! so a fault-injection layer only needs one seam: a [`SenseInterposer`]
+//! sits between the raw sensor reading and its delivery to the consumer,
+//! and may pass it through, corrupt it, or suppress it entirely.
+//!
+//! The physics is never touched: an interposer corrupts what the control
+//! plane believes, not what the wires carry. The simulation crate's
+//! `faults` module provides the fault-injecting implementation; this crate
+//! only defines the seam (plus [`CleanSensePath`], the identity
+//! interposer) so that the server crate stays dependency-free.
+
+use capmaestro_topology::ServerId;
+use capmaestro_units::Watts;
+
+use crate::server::SensorSnapshot;
+
+/// Interposes on the path between a server's sensors and whoever reads
+/// them. Implementations may return the reading unchanged, return a
+/// corrupted copy, or return `None` to model a dropped reading (the
+/// consumer sees nothing this second).
+pub trait SenseInterposer {
+    /// Filters one sensor reading taken at simulation second `now_s`.
+    fn intercept(
+        &mut self,
+        now_s: u64,
+        server: ServerId,
+        raw: SensorSnapshot,
+    ) -> Option<SensorSnapshot>;
+}
+
+/// The identity interposer: every reading is delivered unchanged. Useful
+/// as a default and for differential tests that prove an empty fault layer
+/// is a true no-op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanSensePath;
+
+impl SenseInterposer for CleanSensePath {
+    fn intercept(
+        &mut self,
+        _now_s: u64,
+        _server: ServerId,
+        raw: SensorSnapshot,
+    ) -> Option<SensorSnapshot> {
+        Some(raw)
+    }
+}
+
+impl SensorSnapshot {
+    /// A copy of this reading with every power field scaled by `factor`
+    /// (throttle is left alone — it is a ratio, not a power). The building
+    /// block for spike and gain faults.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> SensorSnapshot {
+        SensorSnapshot {
+            supply_ac: self.supply_ac.iter().map(|&w| w * factor).collect(),
+            total_ac: self.total_ac * factor,
+            dc_power: self.dc_power * factor,
+            throttle: self.throttle,
+        }
+    }
+
+    /// A copy of this reading with `delta` watts added to every power
+    /// field (the per-supply values each absorb a share-proportional part
+    /// so the reading stays internally consistent). The building block for
+    /// additive Gaussian sensor noise.
+    #[must_use]
+    pub fn offset(&self, delta: Watts) -> SensorSnapshot {
+        let total = self.total_ac.as_f64();
+        let supply_ac = if total.abs() > f64::EPSILON {
+            self.supply_ac
+                .iter()
+                .map(|&w| w + delta * (w.as_f64() / total))
+                .collect()
+        } else {
+            self.supply_ac.clone()
+        };
+        SensorSnapshot {
+            supply_ac,
+            total_ac: self.total_ac + delta,
+            dc_power: self.dc_power + delta,
+            throttle: self.throttle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Server, ServerConfig};
+
+    #[test]
+    fn clean_path_is_identity() {
+        let mut server = Server::new(ServerConfig::paper_default());
+        server.set_offered_demand(Watts::new(430.0));
+        server.settle();
+        let raw = server.sense();
+        let mut clean = CleanSensePath;
+        let delivered = clean.intercept(0, ServerId(0), raw.clone()).unwrap();
+        assert_eq!(delivered, raw);
+    }
+
+    #[test]
+    fn scaled_multiplies_all_power_fields() {
+        let mut server = Server::new(ServerConfig::paper_default().with_split(0.6));
+        server.set_offered_demand(Watts::new(400.0));
+        server.settle();
+        let raw = server.sense();
+        let spiked = raw.scaled(2.0);
+        assert!((spiked.total_ac.as_f64() - 2.0 * raw.total_ac.as_f64()).abs() < 1e-9);
+        for (s, r) in spiked.supply_ac.iter().zip(&raw.supply_ac) {
+            assert!((s.as_f64() - 2.0 * r.as_f64()).abs() < 1e-9);
+        }
+        assert_eq!(spiked.throttle, raw.throttle);
+    }
+
+    #[test]
+    fn offset_preserves_supply_consistency() {
+        let mut server = Server::new(ServerConfig::paper_default().with_split(0.6));
+        server.set_offered_demand(Watts::new(400.0));
+        server.settle();
+        let raw = server.sense();
+        let noisy = raw.offset(Watts::new(10.0));
+        assert!((noisy.total_ac.as_f64() - raw.total_ac.as_f64() - 10.0).abs() < 1e-9);
+        let supply_sum: f64 = noisy.supply_ac.iter().map(|w| w.as_f64()).sum();
+        assert!(
+            (supply_sum - noisy.total_ac.as_f64()).abs() < 1e-9,
+            "per-supply readings must still sum to the total"
+        );
+    }
+}

@@ -12,12 +12,22 @@
 //! server's outlets responded. A supply plugged into the wrong branch
 //! shows up as a response on an undeclared meter and silence on a declared
 //! one.
+//!
+//! The module's second half is the **invariant tracker** behind the chaos
+//! soak harness: an [`InvariantTracker`] observes a live
+//! [`Engine`](crate::engine::Engine) once per simulated second and checks
+//! the safety properties that must survive telemetry faults — per-tree
+//! budgets respected by the *physical* load, DC caps inside the
+//! controllable range, priority ordering preserved, and no breaker trips,
+//! ever.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use capmaestro_core::plane::Farm;
-use capmaestro_topology::{FeedId, NodeId, ServerId, Topology};
+use capmaestro_topology::{FeedId, NodeId, Priority, ServerId, Topology};
 use capmaestro_units::Watts;
+
+use crate::engine::Engine;
 
 /// Per-(feed, node) load for a farm wired according to `topology`: outlet
 /// loads pushed up each ancestor path. This is what the infrastructure's
@@ -162,6 +172,308 @@ pub fn audit_wiring(declared: &Topology, actual: &Topology, farm: &mut Farm) -> 
     report
 }
 
+/// Which safety property a [`Violation`] breached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// A control tree's physical load (exempt servers excluded) exceeded
+    /// its root budget beyond tolerance for a sustained window.
+    FeedBudget,
+    /// A commanded DC cap left the server's controllable range.
+    CapRange,
+    /// A higher-priority server was throttled while a lower-priority peer
+    /// in the same tree kept usable cap headroom, sustained.
+    PriorityInversion,
+    /// A circuit breaker tripped. Trips are never exempt — they are the
+    /// outcome the whole system exists to prevent (paper §1).
+    BreakerTrip,
+    /// The rig failed to return to its pre-fault operating point after
+    /// the fault schedule drained (recorded by the chaos harness via
+    /// [`InvariantTracker::record`]).
+    Recovery,
+}
+
+/// One observed breach of a safety invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Simulation second at which the breach was established.
+    pub second: u64,
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Human-readable specifics (tree, server, magnitudes).
+    pub detail: String,
+}
+
+/// Tunables for [`InvariantTracker`]. The defaults match the capping
+/// controller's convergence behaviour: budget breaches and priority
+/// inversions must persist for `sustain_s` seconds (four 8 s control
+/// rounds) before they count, so the integrator's legitimate transients
+/// during fault onset/recovery are not misread as violations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvariantConfig {
+    /// Fractional overshoot a tree's physical load may carry over its
+    /// root budget (the controller's own settling tolerance).
+    pub budget_tolerance: f64,
+    /// Absolute slack added on top of the fractional tolerance, watts.
+    pub budget_slack: Watts,
+    /// Seconds a budget breach or priority inversion must persist
+    /// continuously before it is recorded.
+    pub sustain_s: u64,
+    /// Throttle level above which a high-priority server counts as
+    /// meaningfully capped.
+    pub high_throttle_eps: f64,
+    /// Watts of cap (and draw) above the floor a lower-priority server
+    /// must hold for its headroom to count as reallocatable.
+    pub low_headroom: Watts,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        InvariantConfig {
+            budget_tolerance: 0.02,
+            budget_slack: Watts::new(2.0),
+            sustain_s: 32,
+            high_throttle_eps: 0.08,
+            low_headroom: Watts::new(8.0),
+        }
+    }
+}
+
+/// Checks the chaos-soak safety invariants against a live engine, once
+/// per simulated second (drive it from
+/// [`Engine::run_observed`](crate::engine::Engine::run_observed)).
+///
+/// Servers currently covered by the engine's fault layer, marked stale by
+/// the control plane, or physically unpowered are **exempt** from the
+/// budget and priority checks — the degradation ladder deliberately
+/// over-throttles or fail-safes them, and their telemetry is known to be
+/// lies. Breaker trips are never exempt.
+#[derive(Debug)]
+pub struct InvariantTracker {
+    config: InvariantConfig,
+    violations: Vec<Violation>,
+    /// Consecutive seconds each tree (by index) has run over budget.
+    over_budget_s: HashMap<usize, u64>,
+    /// Consecutive seconds each tree (by index) has shown an inversion.
+    inversion_s: HashMap<usize, u64>,
+    /// Servers whose cap was out of range last second (dedup).
+    out_of_range: HashSet<ServerId>,
+    /// Trip entries of the engine trace already reported.
+    trips_seen: usize,
+    seconds_observed: u64,
+}
+
+impl InvariantTracker {
+    /// A tracker with the given thresholds.
+    pub fn new(config: InvariantConfig) -> Self {
+        InvariantTracker {
+            config,
+            violations: Vec::new(),
+            over_budget_s: HashMap::new(),
+            inversion_s: HashMap::new(),
+            out_of_range: HashSet::new(),
+            trips_seen: 0,
+            seconds_observed: 0,
+        }
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> InvariantConfig {
+        self.config
+    }
+
+    /// Every breach recorded so far, in observation order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether no invariant has been breached.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Seconds of simulation observed.
+    pub fn seconds_observed(&self) -> u64 {
+        self.seconds_observed
+    }
+
+    /// Records an externally detected breach (the chaos harness uses this
+    /// for the end-of-run recovery check, which needs cross-run context
+    /// the per-second observer does not have).
+    pub fn record(&mut self, second: u64, kind: InvariantKind, detail: String) {
+        self.violations.push(Violation {
+            second,
+            kind,
+            detail,
+        });
+    }
+
+    /// Observes one simulated second. Call after the engine has stepped
+    /// (e.g. from the `run_observed` observer).
+    pub fn observe(&mut self, engine: &Engine) {
+        self.seconds_observed += 1;
+        let now = engine.now_s();
+        let farm = engine.farm();
+        let plane = engine.plane();
+
+        // Exempt set: servers whose telemetry is known-corrupted, already
+        // fail-safed, or physically dark.
+        let mut exempt: HashSet<ServerId> =
+            engine.fault_layer().affected_servers().into_iter().collect();
+        exempt.extend(plane.stale_servers());
+        for (id, server) in farm.iter() {
+            if !server.is_powered() {
+                exempt.insert(id);
+            }
+        }
+
+        // Breaker trips: report every new trace entry, exempt or not.
+        let trips = &engine.trace().trips;
+        for (sec, feed, name) in &trips[self.trips_seen..] {
+            self.violations.push(Violation {
+                second: *sec,
+                kind: InvariantKind::BreakerTrip,
+                detail: format!("breaker {name} on feed {feed} tripped"),
+            });
+        }
+        self.trips_seen = trips.len();
+
+        // Cap range: clamped by construction, so any excursion is a
+        // controller bug. Immediate, deduplicated per excursion.
+        for (id, server) in farm.iter() {
+            let Some(cap) = server.dc_cap() else {
+                self.out_of_range.remove(&id);
+                continue;
+            };
+            let model = server.config().model();
+            let eff = server.bank().efficiency();
+            let lo = (model.cap_min() * eff).as_f64() - 1e-6;
+            let hi = (model.cap_max() * eff).as_f64() + 1e-6;
+            if cap.as_f64() < lo || cap.as_f64() > hi {
+                if self.out_of_range.insert(id) {
+                    self.violations.push(Violation {
+                        second: now,
+                        kind: InvariantKind::CapRange,
+                        detail: format!(
+                            "{id}: dc cap {cap} outside [{lo:.1}, {hi:.1}] W"
+                        ),
+                    });
+                }
+            } else {
+                self.out_of_range.remove(&id);
+            }
+        }
+
+        // Per-tree checks.
+        let budgets = plane.root_budgets_now();
+        for (i, (tree, budget)) in
+            plane.trees().iter().zip(budgets).enumerate()
+        {
+            let spec = tree.spec();
+
+            // Feed budget: physical non-exempt load vs the root budget.
+            // Exempt leaves are excluded from the sum rather than the
+            // budget being shrunk: the allocator still reserves budget
+            // for them, so this is the conservative direction.
+            let mut load = Watts::ZERO;
+            for (_, leaf) in spec.leaves() {
+                if exempt.contains(&leaf.server) {
+                    continue;
+                }
+                let Some(server) = farm.get(leaf.server) else {
+                    continue;
+                };
+                let snap = server.sense();
+                load += snap
+                    .supply_ac
+                    .get(leaf.supply.index())
+                    .copied()
+                    .unwrap_or(Watts::ZERO);
+            }
+            let limit = budget * (1.0 + self.config.budget_tolerance)
+                + self.config.budget_slack;
+            let ctr = self.over_budget_s.entry(i).or_insert(0);
+            if load.as_f64() > limit.as_f64() {
+                *ctr += 1;
+                if *ctr == self.config.sustain_s {
+                    self.violations.push(Violation {
+                        second: now,
+                        kind: InvariantKind::FeedBudget,
+                        detail: format!(
+                            "tree {i} ({} {:?}): load {load} > budget {budget} \
+                             for {} s",
+                            spec.feed(),
+                            spec.phase(),
+                            self.config.sustain_s
+                        ),
+                    });
+                }
+            } else {
+                *ctr = 0;
+            }
+
+            // Priority inversion: a throttled higher-priority server
+            // coexisting with a lower-priority peer that holds both cap
+            // and draw above the floor (i.e. budget that could have been
+            // shifted up), sustained.
+            let mut entries: Vec<(ServerId, Priority, f64, bool)> = Vec::new();
+            for (_, leaf) in spec.leaves() {
+                if exempt.contains(&leaf.server)
+                    || entries.iter().any(|e| e.0 == leaf.server)
+                {
+                    continue;
+                }
+                let Some(server) = farm.get(leaf.server) else {
+                    continue;
+                };
+                let priority = plane
+                    .effective_priority(leaf.server)
+                    .unwrap_or(leaf.priority);
+                let model = server.config().model();
+                let eff = server.bank().efficiency();
+                let floor_dc = model.cap_min() * eff;
+                let cap_headroom = server
+                    .dc_cap()
+                    .map(|c| c > floor_dc + self.config.low_headroom)
+                    .unwrap_or(true);
+                let draw_headroom = server.sense().total_ac
+                    > model.cap_min() + self.config.low_headroom;
+                entries.push((
+                    leaf.server,
+                    priority,
+                    server.throttle().as_f64(),
+                    cap_headroom && draw_headroom,
+                ));
+            }
+            let inverted = entries.iter().any(|&(_, ph, throttle, _)| {
+                throttle > self.config.high_throttle_eps
+                    && entries
+                        .iter()
+                        .any(|&(_, pl, _, headroom)| pl < ph && headroom)
+            });
+            let ctr = self.inversion_s.entry(i).or_insert(0);
+            if inverted {
+                *ctr += 1;
+                if *ctr == self.config.sustain_s {
+                    self.violations.push(Violation {
+                        second: now,
+                        kind: InvariantKind::PriorityInversion,
+                        detail: format!(
+                            "tree {i} ({} {:?}): higher-priority server \
+                             throttled while lower-priority headroom remained \
+                             for {} s",
+                            spec.feed(),
+                            spec.phase(),
+                            self.config.sustain_s
+                        ),
+                    });
+                }
+            } else {
+                *ctr = 0;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +577,149 @@ mod tests {
     }
 
     #[test]
+    fn healthy_soak_is_clean() {
+        let rig = crate::scenarios::priority_rig(RigConfig::table2());
+        let mut engine = crate::engine::Engine::new(rig);
+        let mut tracker = InvariantTracker::new(InvariantConfig::default());
+        engine.run_observed(400, |e| tracker.observe(e));
+        assert!(
+            tracker.is_clean(),
+            "healthy rig must not violate invariants: {:?}",
+            tracker.violations()
+        );
+        assert_eq!(tracker.seconds_observed(), 400);
+    }
+
+    /// Two 420 W servers on an uncapped 700 W-rated breaker: a 20 %
+    /// sustained overload trips the UL 489 thermal model in ~106 s, and
+    /// the tracker must report it (trips are never exempt).
+    #[test]
+    fn uncapped_overload_is_flagged_as_breaker_trip() {
+        use capmaestro_core::plane::{ControlPlane, PlaneConfig};
+        use capmaestro_core::tree::ControlTree;
+        use capmaestro_server::{Server, ServerConfig};
+        use capmaestro_topology::{CircuitBreaker, DeviceKind, Phase, PowerDevice, Priority};
+        use capmaestro_units::Watts;
+
+        let mut b = TopologyBuilder::new();
+        let root = b.add_feed(
+            FeedId::A,
+            PowerDevice::new("Rack CB", DeviceKind::Cdu)
+                .with_breaker(CircuitBreaker::with_default_derating(Watts::new(700.0))),
+        );
+        for name in ["S1", "S2"] {
+            b.single_corded_server(name, Priority::LOW, FeedId::A, root, Phase::L1)
+                .unwrap();
+        }
+        let topology = b.build().unwrap();
+        let trees: Vec<ControlTree> = topology
+            .control_tree_specs()
+            .into_iter()
+            .map(ControlTree::new)
+            .collect();
+        let mut farm = Farm::new();
+        for (id, _) in topology.servers() {
+            let mut server = Server::new(ServerConfig::paper_default().single_corded());
+            server.set_offered_demand(Watts::new(420.0));
+            server.settle();
+            farm.insert(id, server);
+        }
+        let plane = ControlPlane::new(
+            trees,
+            vec![Watts::new(560.0)],
+            PlaneConfig::default(),
+        );
+        let rig = crate::scenarios::Rig {
+            topology,
+            farm,
+            plane,
+        };
+        let mut engine = crate::engine::Engine::with_config(
+            rig,
+            crate::engine::EngineConfig {
+                control_enabled: false,
+                ..Default::default()
+            },
+        );
+        let mut tracker = InvariantTracker::new(InvariantConfig::default());
+        engine.run_observed(200, |e| tracker.observe(e));
+        assert!(
+            tracker
+                .violations()
+                .iter()
+                .any(|v| v.kind == InvariantKind::BreakerTrip),
+            "840 W of demand on a 700 W-rated breaker without capping must trip: {:?}",
+            tracker.violations()
+        );
+    }
+
+    /// Swapping priorities mid-run creates a genuine transient inversion:
+    /// the promoted server is still physically throttled for the ~3 s the
+    /// demoted one takes to shed its old cap headroom. A tracker with a
+    /// short sustain window must see it; the default (32 s) window must
+    /// ride through it as controller convergence.
+    #[test]
+    fn priority_swap_transient_is_sustain_gated() {
+        use capmaestro_topology::Priority;
+
+        let rig = crate::scenarios::priority_rig(RigConfig::table2());
+        let sa = rig.server("SA");
+        let sb = rig.server("SB");
+        let mut engine = crate::engine::Engine::new(rig);
+        engine.schedule(200, crate::engine::Event::SetPriority(sa, Priority::LOW));
+        engine.schedule(200, crate::engine::Event::SetPriority(sb, Priority::HIGH));
+
+        let mut strict = InvariantTracker::new(InvariantConfig {
+            sustain_s: 2,
+            ..Default::default()
+        });
+        let mut lenient = InvariantTracker::new(InvariantConfig::default());
+        engine.run_observed(400, |e| {
+            strict.observe(e);
+            lenient.observe(e);
+        });
+        assert!(
+            strict
+                .violations()
+                .iter()
+                .any(|v| v.kind == InvariantKind::PriorityInversion),
+            "2 s sustain must catch the swap transient: {:?}",
+            strict.violations()
+        );
+        assert!(
+            lenient.is_clean(),
+            "default sustain must absorb controller convergence: {:?}",
+            lenient.violations()
+        );
+    }
+
+    #[test]
+    fn faulted_servers_are_exempt_from_inversion_checks() {
+        use crate::faults::FaultKind;
+
+        let rig = crate::scenarios::priority_rig(RigConfig::table2());
+        let sa = rig.server("SA");
+        let mut engine = crate::engine::Engine::new(rig);
+        // Freeze the high-priority server's sensor: the plane over-caps it
+        // on frozen data, which would read as an inversion were it not
+        // exempt while the fault layer owns it.
+        engine.schedule(
+            160,
+            crate::engine::Event::InjectFault(sa, FaultKind::StuckSensor),
+        );
+        let mut tracker = InvariantTracker::new(InvariantConfig::default());
+        engine.run_observed(600, |e| tracker.observe(e));
+        assert!(
+            !tracker
+                .violations()
+                .iter()
+                .any(|v| v.kind == InvariantKind::PriorityInversion),
+            "faulted server must be exempt: {:?}",
+            tracker.violations()
+        );
+    }
+
+    #[test]
     fn node_loads_match_engine_accounting() {
         let topo = figure7a_rig();
         let rig = stranded_rig(RigConfig::table3());
@@ -288,3 +743,4 @@ mod tests {
         assert!((x_top.as_f64() - expected).abs() < 1e-6);
     }
 }
+

@@ -9,11 +9,12 @@
 use std::collections::HashMap;
 
 use capmaestro_core::par::par_map;
-use capmaestro_core::plane::{ControlPlane, Farm};
-use capmaestro_server::{SensorSnapshot, Server};
+use capmaestro_core::plane::{ControlPlane, Farm, RoundReport};
+use capmaestro_server::{SenseInterposer, SensorSnapshot, Server};
 use capmaestro_topology::{BreakerSim, BreakerState, FeedId, NodeId, Phase, ServerId, SupplyIndex, Topology};
 use capmaestro_units::{Seconds, Watts};
 
+use crate::faults::{ChaosAction, ChaosPlan, FaultKind, FaultLayer, FlapSpec};
 use crate::scenarios::Rig;
 
 /// Engine timing configuration.
@@ -60,6 +61,16 @@ pub enum Event {
     /// supplies on it are repaired, and servers that went dark power back
     /// up.
     RestoreFeed(FeedId),
+    /// Inject a telemetry fault on one server's sense path (the physics
+    /// is untouched — only what the control plane sees).
+    InjectFault(ServerId, FaultKind),
+    /// Clear any telemetry fault on one server.
+    ClearFault(ServerId),
+    /// Start flapping the telemetry feed: readings from every server on
+    /// the power feed cycle between delivered and dropped per the spec.
+    FlapTelemetry(FeedId, FlapSpec),
+    /// Stop a flapping telemetry feed.
+    StopFlap(FeedId),
 }
 
 /// Everything the engine recorded, one sample per simulated second.
@@ -227,6 +238,11 @@ pub struct Engine {
     trace: Trace,
     last_caps: HashMap<ServerId, f64>,
     load_index: LoadIndex,
+    faults: FaultLayer,
+    /// Route sensing through the fault layer even when it is quiet
+    /// (differential-test knob proving the slow path is a true no-op).
+    force_interposition: bool,
+    last_report: Option<RoundReport>,
 }
 
 impl Engine {
@@ -279,6 +295,9 @@ impl Engine {
             trace: Trace::default(),
             last_caps: HashMap::new(),
             load_index,
+            faults: FaultLayer::new(0),
+            force_interposition: false,
+            last_report: None,
         }
     }
 
@@ -296,6 +315,57 @@ impl Engine {
         self.events.push((at_s, event));
         self.events.sort_by_key(|(t, _)| *t);
         self
+    }
+
+    /// Schedules every episode of a chaos plan as inject/clear event
+    /// pairs. An empty plan schedules nothing — the run stays
+    /// bit-identical to one that never saw the plan.
+    pub fn schedule_chaos(&mut self, plan: &ChaosPlan) -> &mut Self {
+        for episode in plan.episodes() {
+            match &episode.action {
+                ChaosAction::Fault(server, kind) => {
+                    self.schedule(
+                        episode.start_s,
+                        Event::InjectFault(*server, kind.clone()),
+                    );
+                    self.schedule(episode.end_s, Event::ClearFault(*server));
+                }
+                ChaosAction::Flap(feed, spec) => {
+                    self.schedule(episode.start_s, Event::FlapTelemetry(*feed, *spec));
+                    self.schedule(episode.end_s, Event::StopFlap(*feed));
+                }
+            }
+        }
+        self
+    }
+
+    /// Replaces the fault layer (e.g. to reseed its noise stream).
+    pub fn set_fault_layer(&mut self, layer: FaultLayer) -> &mut Self {
+        self.faults = layer;
+        self
+    }
+
+    /// The fault layer, for inspection (active faults, injection totals).
+    pub fn fault_layer(&self) -> &FaultLayer {
+        &self.faults
+    }
+
+    /// Forces sensing through the interposition path even with no faults
+    /// active. Differential tests use this to prove the slow path is
+    /// bit-identical to the direct one.
+    pub fn set_force_interposition(&mut self, force: bool) -> &mut Self {
+        self.force_interposition = force;
+        self
+    }
+
+    /// The current simulation second (seconds fully stepped so far).
+    pub fn now_s(&self) -> u64 {
+        self.time_s
+    }
+
+    /// The most recent control round's decisions, if any round ran.
+    pub fn last_round_report(&self) -> Option<&RoundReport> {
+        self.last_report.as_ref()
     }
 
     /// The farm (e.g. for post-run inspection).
@@ -392,6 +462,25 @@ impl Engine {
                         sim.reset();
                     }
                 }
+            }
+            Event::InjectFault(server, kind) => {
+                self.faults.inject(server, kind);
+            }
+            Event::ClearFault(server) => {
+                self.faults.clear(server);
+            }
+            Event::FlapTelemetry(feed, spec) => {
+                let mut members: Vec<ServerId> = self
+                    .topology
+                    .feed(feed)
+                    .map(|g| g.outlets().map(|(_, o)| o.server).collect())
+                    .unwrap_or_default();
+                members.sort_unstable();
+                members.dedup();
+                self.faults.start_flap(feed, members, spec, self.time_s);
+            }
+            Event::StopFlap(feed) => {
+                self.faults.stop_flap(feed);
             }
         }
     }
@@ -520,7 +609,29 @@ impl Engine {
     /// Runs the simulation for `seconds`, returning the accumulated trace.
     /// May be called repeatedly to continue a run.
     pub fn run(&mut self, seconds: u64) -> Trace {
+        self.run_observed(seconds, |_| {})
+    }
+
+    /// Like [`Engine::run`], but calls `observer` after every fully
+    /// stepped second — the hook the chaos soak harness uses to audit
+    /// invariants against the live engine state each second.
+    pub fn run_observed(
+        &mut self,
+        seconds: u64,
+        mut observer: impl FnMut(&Engine),
+    ) -> Trace {
         for _ in 0..seconds {
+            self.step_second();
+            observer(self);
+        }
+        self.trace.clone()
+    }
+
+    /// Advances the world by one second: events, sensing (through the
+    /// fault layer when it is active), control, physics, breakers,
+    /// recording.
+    fn step_second(&mut self) {
+        {
             // Apply due events.
             while let Some((t, _)) = self.events.first() {
                 if *t > self.time_s {
@@ -530,8 +641,26 @@ impl Engine {
                 self.apply_event(event);
             }
 
-            // Sense (1 Hz) and control (every period).
-            self.plane.record_sample(&self.farm);
+            // Sense (1 Hz) and control (every period). Telemetry delivery
+            // runs through the fault layer whenever it could act; the
+            // quiet path senses directly (identical result, no per-reading
+            // dispatch).
+            self.faults.tick(self.time_s);
+            if self.faults.is_quiet() && !self.force_interposition {
+                self.plane.record_sample(&self.farm);
+            } else {
+                let faults = &mut self.faults;
+                let now_s = self.time_s;
+                let delivered: Vec<(ServerId, SensorSnapshot)> = self
+                    .farm
+                    .sense_all()
+                    .into_iter()
+                    .filter_map(|(id, raw)| {
+                        faults.intercept(now_s, id, raw).map(|snap| (id, snap))
+                    })
+                    .collect();
+                self.plane.record_snapshots(&self.farm, &delivered);
+            }
             if self.config.control_enabled && self.time_s.is_multiple_of(self.config.control_period_s) {
                 let report = self.plane.run_round(&mut self.farm);
                 for (id, cap) in &report.dc_caps {
@@ -540,6 +669,7 @@ impl Engine {
                 self.trace
                     .stranded
                     .push((self.time_s, report.stranded_reclaimed.as_f64()));
+                self.last_report = Some(report);
             }
 
             // Physics. One fused sweep steps every server and reads its
@@ -625,7 +755,6 @@ impl Engine {
             self.time_s += 1;
             self.trace.seconds = self.time_s;
         }
-        self.trace.clone()
     }
 
     /// Runs one control round immediately (outside the 1 Hz loop) and
@@ -652,6 +781,152 @@ mod tests {
     use super::*;
     use crate::scenarios::{priority_rig, stranded_rig, RigConfig};
     use capmaestro_core::policy::PolicyKind;
+    use std::collections::BTreeSet;
+
+    /// Strict (bitwise for NaN-capable series) trace equality.
+    fn assert_traces_identical(a: &Trace, b: &Trace) {
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(a.server_power, b.server_power);
+        assert_eq!(a.supply_power, b.supply_power);
+        assert_eq!(a.throttle, b.throttle);
+        assert_eq!(a.node_load, b.node_load);
+        assert_eq!(a.trips, b.trips);
+        assert_eq!(a.lost_servers, b.lost_servers);
+        assert_eq!(a.stranded, b.stranded);
+        // dc_cap may hold NaN before a server's first round; compare bits.
+        assert_eq!(
+            a.dc_cap.keys().collect::<BTreeSet<_>>(),
+            b.dc_cap.keys().collect::<BTreeSet<_>>()
+        );
+        for (id, va) in &a.dc_cap {
+            let vb = &b.dc_cap[id];
+            assert_eq!(va.len(), vb.len());
+            for (x, y) in va.iter().zip(vb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "dc cap diverged for {id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_chaos_plan_is_bit_identical_to_plain_run() {
+        // The plain run never touches the fault machinery; the chaos run
+        // schedules an empty plan AND routes every reading through the
+        // interposition path. Bit-identical traces prove the fault layer
+        // is a true no-op when empty.
+        let mut plain = Engine::new(priority_rig(RigConfig::table2()));
+        let reference = plain.run(200);
+        let mut chaos = Engine::new(priority_rig(RigConfig::table2()));
+        chaos.schedule_chaos(&crate::faults::ChaosPlan::empty());
+        chaos.set_force_interposition(true);
+        let observed = chaos.run(200);
+        assert_traces_identical(&reference, &observed);
+
+        // Same property on the dual-feed rig with SPO on.
+        let mut plain = Engine::new(stranded_rig(RigConfig::table3()));
+        let reference = plain.run(120);
+        let mut chaos = Engine::new(stranded_rig(RigConfig::table3()));
+        chaos.schedule_chaos(&crate::faults::ChaosPlan::empty());
+        chaos.set_force_interposition(true);
+        let observed = chaos.run(120);
+        assert_traces_identical(&reference, &observed);
+    }
+
+    #[test]
+    fn dropped_telemetry_server_degrades_to_fail_safe_and_recovers() {
+        let rig = priority_rig(RigConfig::table2());
+        let sa = rig.server("SA");
+        let mut engine = Engine::new(rig);
+        engine.schedule(80, Event::InjectFault(sa, FaultKind::DropReading));
+        engine.schedule(240, Event::ClearFault(sa));
+        let trace = engine.run(440);
+        // Healthy, high-priority SA gets its full 420 W demand.
+        let before = Trace::tail_mean(&trace.server_power[&sa][..80], 10);
+        assert!(before > 400.0, "healthy SA at {before}");
+        // Default staleness (3 rounds × 8 s) has long since degraded SA to
+        // its fail-safe cap_min cap — despite its priority. Over-throttling
+        // a blind server is the safe failure mode (§4.2).
+        let during = Trace::tail_mean(&trace.server_power[&sa][..240], 10);
+        assert!(
+            during < 300.0,
+            "stale SA must be clamped to fail-safe, got {during}"
+        );
+        // Telemetry resumed at t=240: SA regains its demand.
+        let after = Trace::tail_mean(&trace.server_power[&sa], 10);
+        assert!(after > 400.0, "recovered SA at {after}");
+        assert!(trace.trips.is_empty());
+        assert_eq!(engine.fault_layer().injected_total(), 1);
+    }
+
+    #[test]
+    fn flapping_telemetry_feed_stays_safe_without_degrading() {
+        // Feed B's telemetry flaps (5 s delivered / 10 s dropped). Every
+        // down phase is shorter than the staleness budget, so no server
+        // should be declared stale — and the physical feed must stay
+        // within budget throughout.
+        let rig = stranded_rig(RigConfig::table3());
+        let mut engine = Engine::new(rig);
+        engine.schedule(
+            80,
+            Event::FlapTelemetry(FeedId::B, crate::faults::FlapSpec { up_s: 5, down_s: 10 }),
+        );
+        engine.schedule(240, Event::StopFlap(FeedId::B));
+        let trace = engine.run(320);
+        assert!(trace.trips.is_empty());
+        assert!(engine.plane().stale_servers().is_empty());
+        let y_top = trace
+            .node_series_on(FeedId::B, "Y Top CB")
+            .expect("Y top recorded");
+        assert!(Trace::tail_mean(y_top, 20) <= 700.0 * 1.02);
+    }
+
+    #[test]
+    fn feed_fail_restore_round_trip_returns_budgets_and_caps() {
+        // Satellite: Event::FailFeed then Event::RestoreFeed through the
+        // engine must return budgets and per-server caps to within
+        // tolerance of their pre-fault values.
+        let rig = stranded_rig(RigConfig::table3());
+        let servers: Vec<ServerId> = ["SA", "SB", "SC", "SD"]
+            .iter()
+            .map(|n| rig.server(n))
+            .collect();
+        let mut engine = Engine::new(rig);
+        engine.schedule(120, Event::FailFeed(FeedId::B));
+        engine.schedule(240, Event::RestoreFeed(FeedId::B));
+        // Healthy segment first; snapshot the converged budgets.
+        engine.run(120);
+        let pre = engine
+            .last_round_report()
+            .expect("a round ran")
+            .clone();
+        let trace = engine.run(360);
+        let post = engine.last_round_report().expect("a round ran").clone();
+        for &id in &servers {
+            for supply in [SupplyIndex::FIRST, SupplyIndex::SECOND] {
+                let (Some(b0), Some(b1)) = (
+                    pre.supply_budget(id, supply),
+                    post.supply_budget(id, supply),
+                ) else {
+                    continue;
+                };
+                assert!(
+                    (b1.as_f64() - b0.as_f64()).abs() <= 0.02 * b0.as_f64() + 2.0,
+                    "budget for {id:?}/{supply:?} should return: pre {b0}, post {b1}"
+                );
+            }
+            let pre_p = Trace::tail_mean(&trace.server_power[&id][..120], 8);
+            let post_p = Trace::tail_mean(&trace.server_power[&id], 8);
+            assert!(
+                (post_p - pre_p).abs() <= 0.02 * pre_p + 5.0,
+                "power for {id:?} should return: pre {pre_p:.1}, post {post_p:.1}"
+            );
+        }
+        // Both trees budget again from their original roots.
+        assert_eq!(engine.plane().trees().len(), 2);
+        assert_eq!(
+            engine.plane().root_budgets_now(),
+            vec![Watts::new(700.0), Watts::new(700.0)]
+        );
+    }
 
     #[test]
     fn priority_rig_reaches_table2_steady_state() {

@@ -13,7 +13,10 @@
 //!   servers fit under each policy in typical and worst-case conditions,
 //!   judged by the <1 % average cap-ratio criterion.
 //!
-//! [`audit`] implements an active wiring audit (a §7 open challenge) and
+//! [`faults`] injects telemetry faults on the sense path (dropped, stuck,
+//! noisy, spiking readings; flapping feeds) for robustness scenarios and
+//! seeded chaos soaks. [`audit`] implements an active wiring audit (a §7
+//! open challenge) plus the chaos harness's invariant tracker, and
 //! [`report`] holds the table/series formatting shared by the experiment
 //! binaries in `capmaestro-bench`.
 
@@ -23,12 +26,19 @@
 pub mod audit;
 pub mod capacity;
 pub mod engine;
+pub mod faults;
 pub mod jobs;
 pub mod report;
 pub mod scenarios;
 
-pub use audit::{audit_wiring, AuditReport, WiringMismatch};
+pub use audit::{
+    audit_wiring, AuditReport, InvariantConfig, InvariantKind, InvariantTracker,
+    Violation, WiringMismatch,
+};
 pub use capacity::{CapacityConfig, CapacityPlanner, Condition, TrialStats};
 pub use engine::{Engine, EngineConfig, Event, Trace};
+pub use faults::{
+    ChaosAction, ChaosConfig, ChaosPlan, Episode, FaultKind, FaultLayer, FlapSpec,
+};
 pub use jobs::{Job, JobSchedule};
 pub use scenarios::{Rig, RigConfig};

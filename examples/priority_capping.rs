@@ -12,7 +12,7 @@
 use capmaestro::core::plane::Farm;
 use capmaestro::core::policy::PolicyKind;
 use capmaestro::core::tree::ControlTree;
-use capmaestro::core::workers::{shared_farm, WorkerDeployment};
+use capmaestro::core::workers::{shared_farm, DeploymentConfig, WorkerDeployment};
 use capmaestro::server::{Server, ServerConfig};
 use capmaestro::sim::engine::{Engine, Trace};
 use capmaestro::sim::scenarios::{priority_rig, RigConfig};
@@ -54,6 +54,7 @@ fn main() {
         PolicyKind::GlobalPriority,
         shared.clone(),
         2, // two rack-worker threads
+        DeploymentConfig::default(),
     );
     deployment.run_rounds(15, 8);
     deployment.shutdown();
