@@ -16,6 +16,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -q -p capmaestro-bench --bin chaos -- \
     --seconds 300 --seed 7 --seeds 1 --out BENCH_chaos_smoke.json
 
+# Round-pipeline smoke: 60 incremental control rounds vs a from-scratch
+# twin plane — bit-identical caps and zero steady-state heap allocations,
+# or the bench exits non-zero.
+cargo run --release -q -p capmaestro-bench --bin alloc -- \
+    --smoke --out BENCH_alloc_smoke.json
+
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p capmaestro-bench --bin parallel_scale
 fi

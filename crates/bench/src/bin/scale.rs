@@ -83,6 +83,17 @@ fn main() {
         "Scale (§5)",
         "full control-round wall time, synchronous plane vs threaded rack/room workers",
     );
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if host_cpus == 1 {
+        eprintln!("================================================================");
+        eprintln!("WARNING: only 1 CPU is visible to this process.");
+        eprintln!("The distributed timings below run {workers} rack-worker threads");
+        eprintln!("time-sliced on a single core — they measure contention, not the");
+        eprintln!("deployment, and must not be compared against the paper's budget.");
+        eprintln!("================================================================");
+    }
     let mut table = Table::new(vec![
         "Racks",
         "Servers",

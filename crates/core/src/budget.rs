@@ -30,14 +30,36 @@ pub struct BudgetSplit {
     pub unallocated: Watts,
 }
 
+/// Reusable scratch buffers for [`split_budget_into`], so steady-state
+/// budget splits perform no heap allocation once warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct SplitScratch {
+    floors: Vec<Watts>,
+    wants: Vec<Watts>,
+    weights: Vec<Watts>,
+    rooms: Vec<Watts>,
+    grants: Vec<Watts>,
+    levels: Vec<Priority>,
+}
+
 /// Distributes `amount` across children proportionally to `weights`,
 /// clamping each grant at `rooms[i]` and re-distributing the clamped excess
 /// until either the amount is exhausted or every room is full. Returns the
 /// grants; the leftover is `amount − Σ grants`.
+#[cfg(test)]
 fn waterfill(amount: Watts, weights: &[Watts], rooms: &[Watts]) -> Vec<Watts> {
+    let mut grants = Vec::new();
+    waterfill_into(amount, weights, rooms, &mut grants);
+    grants
+}
+
+/// In-place variant of [`waterfill`]: grants are written into `grants`,
+/// reusing its capacity.
+fn waterfill_into(amount: Watts, weights: &[Watts], rooms: &[Watts], grants: &mut Vec<Watts>) {
     debug_assert_eq!(weights.len(), rooms.len());
     let n = weights.len();
-    let mut grants = vec![Watts::ZERO; n];
+    grants.clear();
+    grants.resize(n, Watts::ZERO);
     let mut remaining = amount;
     // Each pass either exhausts the remainder or permanently fills at
     // least one room, so n + 1 passes suffice.
@@ -52,17 +74,24 @@ fn waterfill(amount: Watts, weights: &[Watts], rooms: &[Watts]) -> Vec<Watts> {
             }
         }
         if weight_sum <= Watts::ZERO {
-            // No weighted room left; fall back to equal split over open rooms.
-            let open: Vec<usize> = (0..n)
+            // No weighted room left; fall back to equal split over open
+            // rooms. Granting to an open room never changes another open
+            // room's openness within the pass, so counting first and
+            // filtering again while granting visits exactly the same set.
+            let open = (0..n)
                 .filter(|&i| rooms[i] - grants[i] > Watts::new(1e-9))
-                .collect();
-            if open.is_empty() {
+                .count();
+            if open == 0 {
                 break;
             }
-            let each = remaining / open.len() as f64;
+            let each = remaining / open as f64;
             let mut progressed = false;
-            for i in open {
-                let grant = each.min(rooms[i] - grants[i]);
+            for i in 0..n {
+                let room = rooms[i] - grants[i];
+                if room <= Watts::new(1e-9) {
+                    continue;
+                }
+                let grant = each.min(room);
                 if grant > Watts::ZERO {
                     grants[i] += grant;
                     remaining -= grant;
@@ -93,7 +122,6 @@ fn waterfill(amount: Watts, weights: &[Watts], rooms: &[Watts]) -> Vec<Watts> {
             break;
         }
     }
-    grants
 }
 
 /// Splits `budget` among `children` following the four-step §4.3.2
@@ -104,12 +132,36 @@ fn waterfill(amount: Watts, weights: &[Watts], rooms: &[Watts]) -> Vec<Watts> {
 /// an infeasible deployment the paper excludes by construction — the floors
 /// themselves are scaled proportionally so the split remains total.
 pub fn split_budget(budget: Watts, children: &[PriorityMetrics]) -> BudgetSplit {
-    let n = children.len();
-    if n == 0 {
-        return BudgetSplit {
-            budgets: Vec::new(),
-            unallocated: budget,
-        };
+    let mut scratch = SplitScratch::default();
+    let mut budgets = Vec::new();
+    let unallocated = split_budget_into(budget, children, &mut scratch, &mut budgets);
+    BudgetSplit {
+        budgets,
+        unallocated,
+    }
+}
+
+/// In-place variant of [`split_budget`]: writes per-child budgets into
+/// `budgets` (aligned with `children`) using `scratch` for every
+/// intermediate vector, and returns the unallocated remainder. Performs no
+/// heap allocation once the scratch buffers are warm.
+pub fn split_budget_into(
+    budget: Watts,
+    children: &[PriorityMetrics],
+    scratch: &mut SplitScratch,
+    budgets: &mut Vec<Watts>,
+) -> Watts {
+    let SplitScratch {
+        floors,
+        wants,
+        weights,
+        rooms,
+        grants,
+        levels,
+    } = scratch;
+    budgets.clear();
+    if children.is_empty() {
+        return budget;
     }
 
     // Step 1: cap_min floors. A floor is additionally clamped at the
@@ -117,10 +169,12 @@ pub fn split_budget(budget: Watts, children: &[PriorityMetrics]) -> BudgetSplit 
     // limit the deployment is infeasible (excluded by construction in the
     // paper), but the allocator must still never assign a budget above a
     // limit.
-    let floors: Vec<Watts> = children
-        .iter()
-        .map(|c| c.total_cap_min().min(c.constraint()))
-        .collect();
+    floors.clear();
+    floors.extend(
+        children
+            .iter()
+            .map(|c| c.total_cap_min().min(c.constraint())),
+    );
     let floor_sum: Watts = floors.iter().sum();
     if budget < floor_sum {
         // Infeasible budget: scale floors proportionally (degenerate
@@ -130,19 +184,19 @@ pub fn split_budget(budget: Watts, children: &[PriorityMetrics]) -> BudgetSplit 
         } else {
             0.0
         };
-        return BudgetSplit {
-            budgets: floors.iter().map(|f| *f * scale).collect(),
-            unallocated: Watts::ZERO,
-        };
+        budgets.extend(floors.iter().map(|f| *f * scale));
+        return Watts::ZERO;
     }
-    let mut budgets = floors.clone();
+    budgets.extend_from_slice(floors);
     let mut remaining = budget - floor_sum;
 
     // The union of priority levels, descending.
-    let mut levels: Vec<Priority> = children
-        .iter()
-        .flat_map(|c| c.levels().iter().map(|(p, _)| *p))
-        .collect();
+    levels.clear();
+    levels.extend(
+        children
+            .iter()
+            .flat_map(|c| c.levels().iter().map(|(p, _)| *p)),
+    );
     levels.sort_unstable_by(|a, b| b.cmp(a));
     levels.dedup();
 
@@ -150,40 +204,35 @@ pub fn split_budget(budget: Watts, children: &[PriorityMetrics]) -> BudgetSplit 
     // at the child's remaining constraint headroom so no grant can push a
     // child past its limit, even in infeasible corner cases.
     let mut all_requests_met = true;
-    for level in levels {
-        let wants: Vec<Watts> = children
-            .iter()
-            .zip(&budgets)
-            .map(|(c, b)| {
-                let want = c
-                    .level(level)
-                    .map(|e| e.request.saturating_sub(e.cap_min))
-                    .unwrap_or(Watts::ZERO);
-                want.min(c.constraint().saturating_sub(*b))
-            })
-            .collect();
+    for &level in levels.iter() {
+        wants.clear();
+        wants.extend(children.iter().zip(budgets.iter()).map(|(c, b)| {
+            let want = c
+                .level(level)
+                .map(|e| e.request.saturating_sub(e.cap_min))
+                .unwrap_or(Watts::ZERO);
+            want.min(c.constraint().saturating_sub(*b))
+        }));
         let want_sum: Watts = wants.iter().sum();
         if want_sum <= Watts::ZERO {
             continue;
         }
         if remaining >= want_sum {
-            for (b, w) in budgets.iter_mut().zip(&wants) {
+            for (b, w) in budgets.iter_mut().zip(wants.iter()) {
                 *b += *w;
             }
             remaining -= want_sum;
         } else {
             // Step 3: proportional to demand − cap_min at this level,
             // clamped at each child's request.
-            let weights: Vec<Watts> = children
-                .iter()
-                .map(|c| {
-                    c.level(level)
-                        .map(|e| e.demand.saturating_sub(e.cap_min))
-                        .unwrap_or(Watts::ZERO)
-                })
-                .collect();
-            let grants = waterfill(remaining, &weights, &wants);
-            for (b, g) in budgets.iter_mut().zip(&grants) {
+            weights.clear();
+            weights.extend(children.iter().map(|c| {
+                c.level(level)
+                    .map(|e| e.demand.saturating_sub(e.cap_min))
+                    .unwrap_or(Watts::ZERO)
+            }));
+            waterfill_into(remaining, weights, wants, grants);
+            for (b, g) in budgets.iter_mut().zip(grants.iter()) {
                 *b += *g;
             }
             remaining = Watts::ZERO;
@@ -194,23 +243,22 @@ pub fn split_budget(budget: Watts, children: &[PriorityMetrics]) -> BudgetSplit 
 
     // Step 4: surplus up to each child's constraint.
     if all_requests_met && remaining > Watts::ZERO {
-        let rooms: Vec<Watts> = children
-            .iter()
-            .zip(&budgets)
-            .map(|(c, b)| c.constraint().saturating_sub(*b))
-            .collect();
-        let grants = waterfill(remaining, &rooms, &rooms);
-        for (b, g) in budgets.iter_mut().zip(&grants) {
+        rooms.clear();
+        rooms.extend(
+            children
+                .iter()
+                .zip(budgets.iter())
+                .map(|(c, b)| c.constraint().saturating_sub(*b)),
+        );
+        waterfill_into(remaining, rooms, rooms, grants);
+        for (b, g) in budgets.iter_mut().zip(grants.iter()) {
             *b += *g;
         }
         let granted: Watts = grants.iter().sum();
         remaining -= granted;
     }
 
-    BudgetSplit {
-        budgets,
-        unallocated: remaining,
-    }
+    remaining
 }
 
 #[cfg(test)]

@@ -95,19 +95,30 @@ impl CappingController {
             measured.len(),
             "budget/measurement slices must pair up"
         );
-        assert!(
-            !budgets.is_empty(),
-            "at least one working supply is required"
-        );
+        self.update_pairs(budgets.iter().zip(measured).map(|(b, m)| (*b, *m)))
+    }
+
+    /// Streaming form of [`update`](Self::update): consumes
+    /// `(budget, measured)` pairs directly so callers on the round hot path
+    /// can feed per-supply values without collecting them into slices first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields no pairs.
+    pub fn update_pairs(&mut self, pairs: impl Iterator<Item = (Watts, Watts)>) -> Watts {
         // ① per-supply error; ② most conservative (minimum).
-        let min_error = budgets
-            .iter()
-            .zip(measured)
-            .map(|(b, m)| *b - *m)
-            .min_by(Watts::total_cmp)
-            .expect("non-empty");
+        let mut count = 0usize;
+        let mut min_error = Watts::ZERO;
+        for (b, m) in pairs {
+            let err = b - m;
+            if count == 0 || Watts::total_cmp(&err, &min_error).is_lt() {
+                min_error = err;
+            }
+            count += 1;
+        }
+        assert!(count > 0, "at least one working supply is required");
         // ③ AC→DC and single-supply→whole-server scaling.
-        let m = budgets.len() as f64;
+        let m = count as f64;
         let delta_dc = min_error * self.efficiency * m;
         // ④ integrate and clip to the controllable range.
         self.desired_dc =

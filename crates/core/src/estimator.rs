@@ -183,16 +183,16 @@ impl DemandEstimator {
         if self.window.is_empty() {
             return None;
         }
-        // Case 1: unthrottled samples measure demand directly.
-        let zero: Vec<Watts> = self
+        // Case 1: unthrottled samples measure demand directly. Folded in
+        // window order (never collected) so this runs on the control
+        // plane's allocation-free hot path.
+        let (zero_sum, zero_count) = self
             .window
             .iter()
             .filter(|(t, _)| *t <= ZERO_THROTTLE_EPS)
-            .map(|(_, p)| *p)
-            .collect();
-        if !zero.is_empty() {
-            let sum: Watts = zero.iter().sum();
-            return Some(sum / zero.len() as f64);
+            .fold((Watts::ZERO, 0usize), |(sum, n), (_, p)| (sum + *p, n + 1));
+        if zero_count > 0 {
+            return Some(zero_sum / zero_count as f64);
         }
         // Case 2: OLS intercept at throttle = 0.
         let n = self.window.len() as f64;

@@ -123,6 +123,14 @@ impl PriorityMetrics {
     /// budget must stay inside the controllable range or a later load spike
     /// could make the cap unenforceable.
     pub fn from_leaf(input: &LeafInput) -> Self {
+        let mut out = PriorityMetrics::default();
+        PriorityMetrics::from_leaf_into(input, &mut out);
+        out
+    }
+
+    /// In-place variant of [`PriorityMetrics::from_leaf`]: writes the leaf
+    /// summary into `out`, reusing its level buffer.
+    pub fn from_leaf_into(input: &LeafInput, out: &mut PriorityMetrics) {
         input.validate();
         let demand = input.share * input.demand.max(input.cap_min);
         let entry = MetricEntry {
@@ -130,10 +138,17 @@ impl PriorityMetrics {
             demand,
             request: demand,
         };
-        PriorityMetrics {
-            levels: vec![(input.priority, entry)],
-            constraint: input.share * input.cap_max,
-        }
+        out.levels.clear();
+        out.levels.push((input.priority, entry));
+        out.constraint = input.share * input.cap_max;
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing the level buffer
+    /// (no allocation once `self` has enough capacity).
+    pub fn copy_from(&mut self, src: &PriorityMetrics) {
+        self.levels.clear();
+        self.levels.extend_from_slice(&src.levels);
+        self.constraint = src.constraint;
     }
 
     /// Aggregates children's metrics at a shifting controller with power
@@ -144,15 +159,52 @@ impl PriorityMetrics {
         children: impl IntoIterator<Item = &'a PriorityMetrics>,
         limit: Option<Watts>,
     ) -> Self {
-        // Sum cap_min / demand / raw requests per level, and constraints.
-        let mut sums: Vec<(Priority, MetricEntry)> = Vec::new();
+        let mut out = PriorityMetrics::default();
+        PriorityMetrics::aggregate_into(children, limit, false, &mut out);
+        out
+    }
+
+    /// In-place variant of [`PriorityMetrics::aggregate`] that writes into
+    /// `out`, reusing its level buffer.
+    ///
+    /// With `blind = true` each child is first collapsed to a single
+    /// priority-blind level (exactly [`PriorityMetrics::collapsed`]) before
+    /// accumulation — the operation sequence is identical to collapsing
+    /// every child and aggregating the collapsed copies, without
+    /// materializing them.
+    pub fn aggregate_into<'a>(
+        children: impl IntoIterator<Item = &'a PriorityMetrics>,
+        limit: Option<Watts>,
+        blind: bool,
+        out: &mut PriorityMetrics,
+    ) {
+        // Sum cap_min / demand / raw requests per level, and constraints,
+        // using `out.levels` directly as the sums buffer.
+        out.levels.clear();
+        let sums = &mut out.levels;
         let mut child_constraints = Watts::ZERO;
         for child in children {
             child_constraints += child.constraint;
-            for (priority, entry) in &child.levels {
+            if blind {
+                if child.levels.is_empty() {
+                    continue;
+                }
+                let mut merged = MetricEntry::default();
+                for (_, entry) in &child.levels {
+                    merged.accumulate(entry);
+                }
+                merged.request = merged.request.min(child.constraint).max(merged.cap_min);
+                let priority = Priority::LOW;
                 match sums.binary_search_by(|(p, _)| priority.cmp(p)) {
-                    Ok(pos) => sums[pos].1.accumulate(entry),
-                    Err(pos) => sums.insert(pos, (*priority, *entry)),
+                    Ok(pos) => sums[pos].1.accumulate(&merged),
+                    Err(pos) => sums.insert(pos, (priority, merged)),
+                }
+            } else {
+                for (priority, entry) in &child.levels {
+                    match sums.binary_search_by(|(p, _)| priority.cmp(p)) {
+                        Ok(pos) => sums[pos].1.accumulate(entry),
+                        Err(pos) => sums.insert(pos, (*priority, *entry)),
+                    }
                 }
             }
         }
@@ -160,6 +212,7 @@ impl PriorityMetrics {
             Some(l) => l.min(child_constraints),
             None => child_constraints,
         };
+        out.constraint = constraint;
 
         // Clamp requests: level j may request at most
         //   constraint − Σ_{h>j} request(h) − Σ_{l<j} cap_min(l).
@@ -167,8 +220,7 @@ impl PriorityMetrics {
         let total_cap_min: Watts = sums.iter().map(|(_, e)| e.cap_min).sum();
         let mut higher_requests = Watts::ZERO;
         let mut cap_min_at_or_above = Watts::ZERO;
-        let mut levels = Vec::with_capacity(sums.len());
-        for (priority, mut entry) in sums {
+        for (_, entry) in sums.iter_mut() {
             cap_min_at_or_above += entry.cap_min;
             let lower_cap_min = total_cap_min - cap_min_at_or_above;
             let allowable = constraint
@@ -178,14 +230,20 @@ impl PriorityMetrics {
             // budgeting phase hands out cap_min unconditionally.
             entry.request = entry.request.min(allowable).max(entry.cap_min);
             higher_requests += entry.request;
-            levels.push((priority, entry));
         }
-        PriorityMetrics { levels, constraint }
     }
 
     /// Collapses all levels into a single priority-blind level (used by the
     /// No-Priority policy and by Local Priority above leaf parents).
     pub fn collapsed(&self) -> Self {
+        let mut out = PriorityMetrics::default();
+        self.collapsed_into(&mut out);
+        out
+    }
+
+    /// In-place variant of [`PriorityMetrics::collapsed`], writing into
+    /// `out` (which must not alias `self`), reusing its level buffer.
+    pub fn collapsed_into(&self, out: &mut PriorityMetrics) {
         let mut merged = MetricEntry::default();
         for (_, entry) in &self.levels {
             merged.accumulate(entry);
@@ -193,14 +251,11 @@ impl PriorityMetrics {
         // The per-level clamp may not have bound jointly; re-clamp the
         // merged request against the constraint.
         merged.request = merged.request.min(self.constraint).max(merged.cap_min);
-        PriorityMetrics {
-            levels: if self.levels.is_empty() {
-                Vec::new()
-            } else {
-                vec![(Priority::LOW, merged)]
-            },
-            constraint: self.constraint,
+        out.levels.clear();
+        if !self.levels.is_empty() {
+            out.levels.push((Priority::LOW, merged));
         }
+        out.constraint = self.constraint;
     }
 
     /// The levels, sorted descending by priority.

@@ -11,17 +11,18 @@
 //! [`crate::workers`]; it produces the same decisions, distributed.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
 
 use capmaestro_server::{SensorSnapshot, Server};
 use capmaestro_topology::{FeedId, ServerId, SupplyIndex};
-use capmaestro_units::{Ratio, Seconds, Watts};
+use capmaestro_units::{Seconds, Watts};
 
 use crate::capping::CappingController;
 use crate::estimator::{DemandEstimator, SampleFate};
 use crate::par::{par_for_each_mut, par_map, par_map_mut};
-use crate::policy::PolicyKind;
-use crate::spo::optimize_stranded_power_par;
-use crate::tree::{Allocation, ControlTree, SupplyInput};
+use crate::policy::{CappingPolicy, PolicyKind};
+use crate::spo::{optimize_stranded_power_in, optimize_stranded_power_par, SpoScratch};
+use crate::tree::{Allocation, ControlTree, SupplyInput, TreeRoundState};
 
 /// The population of servers under management, keyed by id.
 ///
@@ -235,6 +236,126 @@ pub enum BudgetSource {
     SharedPerPhase(Watts),
 }
 
+/// Reusable buffers for the per-round hot path (the "RoundContext" of the
+/// round-pipeline design): the stale-server set, the demand map, resolved
+/// root budgets, the cached capping-policy object, per-tree round states
+/// for the plain allocation path, the SPO scratch, and the round report
+/// itself. [`ControlPlane::run_round_cached`] borrows these instead of
+/// allocating, so a steady-state sequential round performs no heap
+/// allocation.
+struct RoundContext {
+    stale: HashSet<ServerId>,
+    demands: HashMap<ServerId, Watts>,
+    root_budgets: Vec<Watts>,
+    /// Scratch for the [`BudgetSource::SharedPerPhase`] resolution.
+    tree_demands: Vec<Watts>,
+    phase_members: Vec<usize>,
+    /// The policy object, rebuilt only when the configured kind changes.
+    policy: Option<(PolicyKind, Box<dyn CappingPolicy + Send + Sync>)>,
+    spo: SpoScratch,
+    /// Per-tree incremental gather state for the SPO-disabled path.
+    plain_states: Vec<TreeRoundState>,
+    report: RoundReport,
+    /// Whether `report` holds a completed round.
+    valid: bool,
+}
+
+impl Default for RoundContext {
+    fn default() -> Self {
+        RoundContext {
+            stale: HashSet::new(),
+            demands: HashMap::new(),
+            root_budgets: Vec::new(),
+            tree_demands: Vec::new(),
+            phase_members: Vec::new(),
+            policy: None,
+            spo: SpoScratch::new(),
+            plain_states: Vec::new(),
+            report: RoundReport {
+                allocations: Vec::new(),
+                stranded_reclaimed: Watts::ZERO,
+                dc_caps: HashMap::new(),
+            },
+            valid: false,
+        }
+    }
+}
+
+impl RoundContext {
+    /// Drops the cached incremental allocation state (SPO routes and all
+    /// per-tree round states) — required when the tree set changes.
+    fn invalidate_allocation_caches(&mut self) {
+        self.spo.invalidate();
+        for state in &mut self.plain_states {
+            state.invalidate();
+        }
+    }
+}
+
+impl fmt::Debug for RoundContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoundContext")
+            .field("valid", &self.valid)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Resolves the per-tree root budgets into `out`. For
+/// [`BudgetSource::SharedPerPhase`], each phase's contractual budget is
+/// split across that phase's trees proportionally to their estimated
+/// demand (equal split when total demand is zero). `tree_demands` and
+/// `members` are caller-owned scratch so the round hot path allocates
+/// nothing.
+fn resolve_root_budgets_into(
+    trees: &[ControlTree],
+    source: &BudgetSource,
+    tree_demands: &mut Vec<Watts>,
+    members: &mut Vec<usize>,
+    out: &mut Vec<Watts>,
+) {
+    out.clear();
+    match source {
+        BudgetSource::Fixed(budgets) => out.extend_from_slice(budgets),
+        BudgetSource::SharedPerPhase(per_phase) => {
+            // Demand per tree = Σ leaf demand × share.
+            tree_demands.clear();
+            tree_demands.extend(trees.iter().map(|tree| {
+                let mut total = Watts::ZERO;
+                for idx in 0..tree.spec().len() {
+                    if let (Some(input), true) =
+                        (tree.input_at(idx), tree.spec().node(idx).is_leaf())
+                    {
+                        total += input.demand * input.share;
+                    }
+                }
+                total
+            }));
+            out.resize(trees.len(), Watts::ZERO);
+            for phase in capmaestro_topology::Phase::ALL {
+                members.clear();
+                members.extend(
+                    trees
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.spec().phase() == phase)
+                        .map(|(i, _)| i),
+                );
+                if members.is_empty() {
+                    continue;
+                }
+                let total: Watts = members.iter().map(|&i| tree_demands[i]).sum();
+                for &i in members.iter() {
+                    out[i] = if total > Watts::ZERO {
+                        *per_phase * (tree_demands[i] / total)
+                    } else {
+                        *per_phase / members.len() as f64
+                    };
+                }
+            }
+        }
+    }
+}
+
 /// The CapMaestro control-plane service.
 ///
 /// # Examples
@@ -296,6 +417,8 @@ pub struct ControlPlane {
     fresh: HashSet<ServerId>,
     /// Consecutive rounds without a plausible reading, per server.
     stale_rounds: HashMap<ServerId, u32>,
+    /// Reusable round buffers (see [`RoundContext`]).
+    ctx: RoundContext,
 }
 
 impl ControlPlane {
@@ -347,6 +470,7 @@ impl ControlPlane {
             telemetry: HashMap::new(),
             fresh: HashSet::new(),
             stale_rounds: HashMap::new(),
+            ctx: RoundContext::default(),
         }
     }
 
@@ -397,55 +521,19 @@ impl ControlPlane {
         self.resolve_root_budgets()
     }
 
-    /// Resolves the per-tree root budgets for this round. For
-    /// [`BudgetSource::SharedPerPhase`], each phase's contractual budget is
-    /// split across that phase's trees proportionally to their estimated
-    /// demand (equal split when total demand is zero).
+    /// Resolves the per-tree root budgets for this round (see
+    /// [`resolve_root_budgets_into`]).
     fn resolve_root_budgets(&self) -> Vec<Watts> {
-        match &self.budget_source {
-            BudgetSource::Fixed(budgets) => budgets.clone(),
-            BudgetSource::SharedPerPhase(per_phase) => {
-                // Demand per tree = Σ leaf demand × share.
-                let demands: Vec<Watts> = self
-                    .trees
-                    .iter()
-                    .map(|tree| {
-                        let mut total = Watts::ZERO;
-                        for idx in 0..tree.spec().len() {
-                            if let (Some(input), true) = (
-                                tree.input_at(idx),
-                                tree.spec().node(idx).is_leaf(),
-                            ) {
-                                total += input.demand * input.share;
-                            }
-                        }
-                        total
-                    })
-                    .collect();
-                let mut budgets = vec![Watts::ZERO; self.trees.len()];
-                for phase in capmaestro_topology::Phase::ALL {
-                    let members: Vec<usize> = self
-                        .trees
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, t)| t.spec().phase() == phase)
-                        .map(|(i, _)| i)
-                        .collect();
-                    if members.is_empty() {
-                        continue;
-                    }
-                    let total: Watts = members.iter().map(|&i| demands[i]).sum();
-                    for &i in &members {
-                        budgets[i] = if total > Watts::ZERO {
-                            *per_phase * (demands[i] / total)
-                        } else {
-                            *per_phase / members.len() as f64
-                        };
-                    }
-                }
-                budgets
-            }
-        }
+        let mut out = Vec::new();
+        let (mut demands, mut members) = (Vec::new(), Vec::new());
+        resolve_root_budgets_into(
+            &self.trees,
+            &self.budget_source,
+            &mut demands,
+            &mut members,
+            &mut out,
+        );
+        out
     }
 
     /// The configuration.
@@ -500,6 +588,9 @@ impl ControlPlane {
         if fixed.is_some() {
             self.budget_source = BudgetSource::Fixed(kept_budgets);
         }
+        // Tree indices shifted: the cached routes and incremental gather
+        // states no longer line up with the tree list.
+        self.ctx.invalidate_allocation_caches();
         removed
     }
 
@@ -522,6 +613,9 @@ impl ControlPlane {
             }
         }
         self.parked = still_parked;
+        if restored > 0 {
+            self.ctx.invalidate_allocation_caches();
+        }
         restored
     }
 
@@ -578,6 +672,46 @@ impl ControlPlane {
     /// discarded and do **not** count as a telemetry refresh, so a sensor
     /// returning garbage degrades exactly like a silent one.
     pub fn record_snapshots(&mut self, farm: &Farm, snaps: &[(ServerId, SensorSnapshot)]) {
+        let threads = farm.parallelism();
+        // The estimator updates are independent per server, so when the
+        // farm is configured multi-threaded and the batch is in strict id
+        // order (the shape `sense_all` produces), the screening fans out
+        // across threads; telemetry/freshness bookkeeping stays sequential
+        // in batch order, so the result is thread-count independent.
+        let sorted_unique = snaps.windows(2).all(|w| w[0].0 < w[1].0);
+        if threads > 1 && sorted_unique && snaps.len() > 1 {
+            let mut ests: Vec<DemandEstimator> = snaps
+                .iter()
+                .map(|(id, _)| self.estimators.remove(id).unwrap_or_default())
+                .collect();
+            let mut items: Vec<(usize, &mut DemandEstimator)> =
+                ests.iter_mut().enumerate().collect();
+            let fates: Vec<SampleFate> = par_map_mut(&mut items, threads, |(i, est)| {
+                let (id, snap) = &snaps[*i];
+                match farm.get(*id).map(|s| s.config().model()) {
+                    Some(model) => est.push_screened(
+                        snap.throttle,
+                        snap.total_ac,
+                        model.idle(),
+                        model.cap_max(),
+                    ),
+                    // Unknown server: no envelope to screen against.
+                    None => {
+                        est.push(snap.throttle, snap.total_ac);
+                        SampleFate::Accepted
+                    }
+                }
+            });
+            drop(items);
+            for (((id, snap), est), fate) in snaps.iter().zip(ests).zip(fates) {
+                self.estimators.insert(*id, est);
+                if fate == SampleFate::Accepted {
+                    self.telemetry.insert(*id, snap.clone());
+                    self.fresh.insert(*id);
+                }
+            }
+            return;
+        }
         for (id, snap) in snaps {
             let estimator = self.estimators.entry(*id).or_default();
             let fate = match farm.get(*id).map(|s| s.config().model()) {
@@ -624,6 +758,37 @@ impl ControlPlane {
     /// runs sequentially in deterministic order, so the round's decisions
     /// are bit-identical for every thread count.
     pub fn run_round(&mut self, farm: &mut Farm) -> RoundReport {
+        self.run_round_cached(farm).clone()
+    }
+
+    /// The report of the last completed round, if any round has run since
+    /// construction / [`ControlPlane::reset_round_cache`].
+    pub fn last_report(&self) -> Option<&RoundReport> {
+        if self.ctx.valid {
+            Some(&self.ctx.report)
+        } else {
+            None
+        }
+    }
+
+    /// Drops every reusable round buffer and cached incremental state, so
+    /// the next round recomputes everything from scratch. Differential
+    /// tests use this to compare incremental rounds against full rounds;
+    /// it is never required for correctness.
+    pub fn reset_round_cache(&mut self) {
+        self.ctx = RoundContext::default();
+    }
+
+    /// [`ControlPlane::run_round`], but writing the decisions into the
+    /// plane-owned [`RoundReport`] instead of returning a fresh one — the
+    /// hot-path entry point. In the sequential case (farm parallelism 1) a
+    /// steady-state round performs **no heap allocation**: demand and
+    /// stale maps, root budgets, the policy object, per-tree gather states
+    /// (reused incrementally — only subtrees with a dirtied leaf are
+    /// re-summarized), SPO routes/overlays, and the report buffers all
+    /// live in the plane's round context. Multi-threaded farms keep the
+    /// fan-out paths and remain bit-identical to the sequential round.
+    pub fn run_round_cached(&mut self, farm: &mut Farm) -> &RoundReport {
         let threads = farm.parallelism();
 
         // 0. Staleness bookkeeping: servers that delivered a plausible
@@ -646,25 +811,46 @@ impl ControlPlane {
             }
         }
         self.fresh.clear();
-        let stale: HashSet<ServerId> = self
-            .stale_rounds
-            .iter()
-            .filter(|(_, &ctr)| ctr >= self.staleness.stale_after_rounds)
-            .map(|(&id, _)| id)
-            .collect();
+        let threshold = self.staleness.stale_after_rounds;
+        self.ctx.stale.clear();
+        self.ctx.stale.extend(
+            self.stale_rounds
+                .iter()
+                .filter(|(_, &ctr)| ctr >= threshold)
+                .map(|(&id, _)| id),
+        );
         let fail_safe = self.staleness.fail_safe_demand;
 
         // 1. Refresh every tree's leaf inputs from estimates and the
         //    servers' live PSU state. Estimates are independent per
         //    server; each tree's refresh is independent per tree. A stale
         //    server's demand is its fail-safe value, not a frozen
-        //    estimate.
-        let entries: Vec<(ServerId, &Server)> = farm.iter().collect();
-        let estimators = &self.estimators;
-        let telemetry = &self.telemetry;
-        let stale_ref = &stale;
-        let demands: HashMap<ServerId, Watts> =
-            par_map(&entries, threads, |&(id, server)| {
+        //    estimate. The refresh value-compares against the tree's
+        //    stored inputs, so unchanged leaves stay clean and the gather
+        //    below reuses their cached metrics.
+        self.ctx.demands.clear();
+        if threads <= 1 {
+            for (id, server) in farm.iter() {
+                let model = server.config().model();
+                let demand = if self.ctx.stale.contains(&id) {
+                    fail_safe
+                        .unwrap_or_else(|| model.cap_min())
+                        .clamp(model.cap_min(), model.cap_max())
+                } else {
+                    self.estimators
+                        .get(&id)
+                        .and_then(|e| e.estimate_with_idle(model.idle()))
+                        .or_else(|| self.telemetry.get(&id).map(|snap| snap.total_ac))
+                        .unwrap_or_else(|| server.sense().total_ac)
+                };
+                self.ctx.demands.insert(id, demand);
+            }
+        } else {
+            let entries: Vec<(ServerId, &Server)> = farm.iter().collect();
+            let estimators = &self.estimators;
+            let telemetry = &self.telemetry;
+            let stale_ref = &self.ctx.stale;
+            let computed = par_map(&entries, threads, |&(id, server)| {
                 let model = server.config().model();
                 if stale_ref.contains(&id) {
                     let demand = fail_safe
@@ -678,15 +864,15 @@ impl ControlPlane {
                     .or_else(|| telemetry.get(&id).map(|snap| snap.total_ac))
                     .unwrap_or_else(|| server.sense().total_ac);
                 (id, estimate)
-            })
-            .into_iter()
-            .collect();
-        let overrides = &self.priority_overrides;
-        let statics = &self.static_priorities;
+            });
+            self.ctx.demands.extend(computed);
+        }
         {
-            let farm = &*farm;
-            let demands = &demands;
-            par_for_each_mut(&mut self.trees, threads, |tree| {
+            let overrides = &self.priority_overrides;
+            let statics = &self.static_priorities;
+            let farm_ref = &*farm;
+            let demands = &self.ctx.demands;
+            let refresh = |tree: &mut ControlTree| {
                 if !overrides.is_empty() {
                     tree.set_priorities_with(|server| {
                         overrides.get(&server).copied().unwrap_or_else(|| {
@@ -698,15 +884,11 @@ impl ControlPlane {
                     });
                 }
                 tree.set_inputs_with(|server, supply| {
-                    let srv = farm
+                    let srv = farm_ref
                         .get(server)
                         .unwrap_or_else(|| panic!("tree references unknown {server}"));
                     let model = srv.config().model();
-                    let shares = srv.bank().effective_shares();
-                    let share = shares
-                        .get(supply.index())
-                        .copied()
-                        .unwrap_or(Ratio::ZERO);
+                    let share = srv.bank().effective_share(supply.index());
                     let demand = demands.get(&server).copied().unwrap_or(model.idle());
                     SupplyInput {
                         demand: demand.clamp(model.idle(), model.cap_max()),
@@ -715,7 +897,14 @@ impl ControlPlane {
                         share,
                     }
                 });
-            });
+            };
+            if threads <= 1 {
+                for tree in &mut self.trees {
+                    refresh(tree);
+                }
+            } else {
+                par_for_each_mut(&mut self.trees, threads, refresh);
+            }
         }
 
         // 2. Allocate (with or without the stranded-power pass). The trees
@@ -724,102 +913,220 @@ impl ControlPlane {
         //    split *within* each tree and the SPO strand detection stay
         //    sequential, keeping the round bit-identical for every thread
         //    count.
-        let root_budgets = self.resolve_root_budgets();
-        let policy = self.config.policy.policy();
-        let (allocations, stranded_reclaimed) = if self.config.spo {
-            let outcome = optimize_stranded_power_par(
-                &self.trees,
-                &root_budgets,
-                policy.as_ref(),
-                threads,
-            );
-            (outcome.second.clone(), outcome.total_stranded())
+        let trees = &self.trees;
+        let RoundContext {
+            stale,
+            root_budgets,
+            tree_demands,
+            phase_members,
+            policy,
+            spo,
+            plain_states,
+            report,
+            valid,
+            ..
+        } = &mut self.ctx;
+        resolve_root_budgets_into(
+            trees,
+            &self.budget_source,
+            tree_demands,
+            phase_members,
+            root_budgets,
+        );
+        if policy.as_ref().map(|(kind, _)| *kind) != Some(self.config.policy) {
+            *policy = Some((self.config.policy, self.config.policy.policy()));
+        }
+        let policy_dyn = policy.as_ref().expect("policy cached above").1.as_ref();
+        report.stranded_reclaimed = if self.config.spo {
+            if threads <= 1 {
+                optimize_stranded_power_in(
+                    trees,
+                    root_budgets,
+                    policy_dyn,
+                    spo,
+                    &mut report.allocations,
+                )
+            } else {
+                let outcome =
+                    optimize_stranded_power_par(trees, root_budgets, policy_dyn, threads);
+                let total = outcome.total_stranded();
+                report.allocations = outcome.second;
+                total
+            }
+        } else if threads <= 1 {
+            let n = trees.len();
+            if plain_states.len() != n {
+                plain_states.clear();
+                plain_states.resize_with(n, TreeRoundState::new);
+            }
+            if report.allocations.len() != n {
+                report.allocations.clear();
+                report.allocations.resize_with(n, Allocation::default);
+            }
+            for i in 0..n {
+                trees[i].allocate_in(
+                    root_budgets[i],
+                    policy_dyn,
+                    &mut plain_states[i],
+                    None,
+                    &mut report.allocations[i],
+                );
+            }
+            Watts::ZERO
         } else {
-            let pairs: Vec<(&ControlTree, Watts)> = self
-                .trees
+            let pairs: Vec<(&ControlTree, Watts)> = trees
                 .iter()
                 .zip(root_budgets.iter().copied())
                 .collect();
-            let allocs: Vec<Allocation> =
-                par_map(&pairs, threads, |&(t, b)| t.allocate(b, policy.as_ref()));
-            (allocs, Watts::ZERO)
+            report.allocations =
+                par_map(&pairs, threads, |&(t, b)| t.allocate(b, policy_dyn));
+            Watts::ZERO
         };
 
         // 3. Enforce: pair every server's working supplies' budgets with
-        //    its last *delivered* telemetry in parallel (never a direct
-        //    sensor read — faults must affect enforcement too), then run
-        //    the stateful capping controllers sequentially in id order.
-        //    Stale servers bypass their feedback controller entirely:
-        //    their cap is clamped straight to the fail-safe demand.
-        let allocations_ref = &allocations;
-        let sensed: Vec<Option<(Vec<Watts>, Vec<Watts>)>> =
-            par_map(&entries, threads, |&(id, server)| {
-                if stale_ref.contains(&id) {
-                    return None;
+        //    its last *delivered* telemetry (never a direct sensor read —
+        //    faults must affect enforcement too), then run the stateful
+        //    capping controllers sequentially in id order. Stale servers
+        //    bypass their feedback controller entirely: their cap is
+        //    clamped straight to the fail-safe demand.
+        report.dc_caps.clear();
+        if threads <= 1 {
+            let allocations = &report.allocations;
+            for (id, server) in farm.iter_mut() {
+                let model = server.config().model();
+                if stale.contains(&id) {
+                    let demand_ac = fail_safe
+                        .unwrap_or_else(|| model.cap_min())
+                        .clamp(model.cap_min(), model.cap_max());
+                    let efficiency = server.bank().efficiency();
+                    let controller = self.controllers.entry(id).or_insert_with(|| {
+                        CappingController::new(model.cap_min(), model.cap_max(), efficiency)
+                    });
+                    let cap = controller.force_dc_cap(demand_ac * efficiency);
+                    server.set_dc_cap(cap);
+                    report.dc_caps.insert(id, cap);
+                    continue;
                 }
-                let snap = telemetry
-                    .get(&id)
-                    .cloned()
-                    .unwrap_or_else(|| server.sense());
-                let shares = server.bank().effective_shares();
-                let mut budgets = Vec::new();
-                let mut measured = Vec::new();
-                for (idx, share) in shares.iter().enumerate() {
+                // Count the working supplies an allocation covers; servers
+                // outside every tree keep their previous cap, exactly like
+                // the collected (parallel) path.
+                let mut covered = 0usize;
+                for (idx, share) in server.bank().effective_shares_iter().enumerate() {
                     if share.as_f64() <= 0.0 {
                         continue;
                     }
                     let supply = SupplyIndex(idx as u8);
-                    if let Some(b) = allocations_ref
+                    if allocations
                         .iter()
-                        .find_map(|a| a.supply_budget(id, supply))
+                        .any(|a| a.supply_budget(id, supply).is_some())
                     {
-                        budgets.push(b);
-                        measured.push(snap.supply_ac[idx]);
+                        covered += 1;
                     }
                 }
-                if budgets.is_empty() {
-                    None
-                } else {
-                    Some((budgets, measured))
+                if covered == 0 {
+                    continue;
                 }
-            });
-        drop(entries);
-        let mut dc_caps = HashMap::new();
-        for ((id, server), work) in farm.iter_mut().zip(sensed) {
-            let model = server.config().model();
-            if stale.contains(&id) {
-                let demand_ac = fail_safe
-                    .unwrap_or_else(|| model.cap_min())
-                    .clamp(model.cap_min(), model.cap_max());
-                let efficiency = server.bank().efficiency();
+                let mut fallback = None;
+                let snap: &SensorSnapshot = match self.telemetry.get(&id) {
+                    Some(snap) => snap,
+                    None => fallback.get_or_insert_with(|| server.sense()),
+                };
                 let controller = self.controllers.entry(id).or_insert_with(|| {
-                    CappingController::new(model.cap_min(), model.cap_max(), efficiency)
+                    CappingController::new(
+                        model.cap_min(),
+                        model.cap_max(),
+                        server.bank().efficiency(),
+                    )
                 });
-                let cap = controller.force_dc_cap(demand_ac * efficiency);
+                let cap = controller.update_pairs(
+                    server
+                        .bank()
+                        .effective_shares_iter()
+                        .enumerate()
+                        .filter_map(|(idx, share)| {
+                            if share.as_f64() <= 0.0 {
+                                return None;
+                            }
+                            let supply = SupplyIndex(idx as u8);
+                            allocations
+                                .iter()
+                                .find_map(|a| a.supply_budget(id, supply))
+                                .map(|b| (b, snap.supply_ac[idx]))
+                        }),
+                );
                 server.set_dc_cap(cap);
-                dc_caps.insert(id, cap);
-                continue;
+                report.dc_caps.insert(id, cap);
             }
-            let Some((budgets, measured)) = work else {
-                continue;
-            };
-            let controller = self.controllers.entry(id).or_insert_with(|| {
-                CappingController::new(
-                    model.cap_min(),
-                    model.cap_max(),
-                    server.bank().efficiency(),
-                )
-            });
-            let cap = controller.update(&budgets, &measured);
-            server.set_dc_cap(cap);
-            dc_caps.insert(id, cap);
+        } else {
+            let entries: Vec<(ServerId, &Server)> = farm.iter().collect();
+            let telemetry = &self.telemetry;
+            let stale_ref = &*stale;
+            let allocations_ref = &report.allocations;
+            let sensed: Vec<Option<(Vec<Watts>, Vec<Watts>)>> =
+                par_map(&entries, threads, |&(id, server)| {
+                    if stale_ref.contains(&id) {
+                        return None;
+                    }
+                    let snap = telemetry
+                        .get(&id)
+                        .cloned()
+                        .unwrap_or_else(|| server.sense());
+                    let shares = server.bank().effective_shares();
+                    let mut budgets = Vec::new();
+                    let mut measured = Vec::new();
+                    for (idx, share) in shares.iter().enumerate() {
+                        if share.as_f64() <= 0.0 {
+                            continue;
+                        }
+                        let supply = SupplyIndex(idx as u8);
+                        if let Some(b) = allocations_ref
+                            .iter()
+                            .find_map(|a| a.supply_budget(id, supply))
+                        {
+                            budgets.push(b);
+                            measured.push(snap.supply_ac[idx]);
+                        }
+                    }
+                    if budgets.is_empty() {
+                        None
+                    } else {
+                        Some((budgets, measured))
+                    }
+                });
+            drop(entries);
+            for ((id, server), work) in farm.iter_mut().zip(sensed) {
+                let model = server.config().model();
+                if stale.contains(&id) {
+                    let demand_ac = fail_safe
+                        .unwrap_or_else(|| model.cap_min())
+                        .clamp(model.cap_min(), model.cap_max());
+                    let efficiency = server.bank().efficiency();
+                    let controller = self.controllers.entry(id).or_insert_with(|| {
+                        CappingController::new(model.cap_min(), model.cap_max(), efficiency)
+                    });
+                    let cap = controller.force_dc_cap(demand_ac * efficiency);
+                    server.set_dc_cap(cap);
+                    report.dc_caps.insert(id, cap);
+                    continue;
+                }
+                let Some((budgets, measured)) = work else {
+                    continue;
+                };
+                let controller = self.controllers.entry(id).or_insert_with(|| {
+                    CappingController::new(
+                        model.cap_min(),
+                        model.cap_max(),
+                        server.bank().efficiency(),
+                    )
+                });
+                let cap = controller.update(&budgets, &measured);
+                server.set_dc_cap(cap);
+                report.dc_caps.insert(id, cap);
+            }
         }
 
-        RoundReport {
-            allocations,
-            stranded_reclaimed,
-            dc_caps,
-        }
+        *valid = true;
+        &self.ctx.report
     }
 }
 
@@ -827,6 +1134,7 @@ impl ControlPlane {
 mod tests {
     use super::*;
     use capmaestro_server::ServerConfig;
+    use capmaestro_units::Ratio;
     use capmaestro_topology::presets::{figure2_feed, figure7a_rig};
     use capmaestro_topology::Topology;
 

@@ -17,7 +17,7 @@ use capmaestro_units::Watts;
 
 use crate::par::{par_for_each_mut, par_map};
 use crate::policy::CappingPolicy;
-use crate::tree::{Allocation, ControlTree, SupplyInput};
+use crate::tree::{Allocation, ControlTree, SupplyInput, TreeRoundState};
 
 /// Stranded power below this threshold is ignored (measurement noise in a
 /// real deployment; numerical noise here).
@@ -317,6 +317,220 @@ fn shrink_stranded_inputs(
     }
 }
 
+/// One supply's position in the precomputed SPO routing table.
+#[derive(Debug, Clone)]
+struct RouteSupply {
+    tree: u32,
+    node: u32,
+    slot: u32,
+    supply: SupplyIndex,
+}
+
+/// A server's supplies across all trees, precomputed so strand detection
+/// walks flat lists instead of rebuilding hash-keyed views every round.
+#[derive(Debug, Clone)]
+struct RouteServer {
+    server: ServerId,
+    supplies: Vec<RouteSupply>,
+}
+
+/// Reusable buffers for [`optimize_stranded_power_in`]: precomputed
+/// per-server supply routes, per-tree [`TreeRoundState`]s for both passes,
+/// pass-1 allocations, per-tree input overlays, and strand bookkeeping.
+/// Keep one per control plane and reuse it across rounds; steady-state SPO
+/// then performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct SpoScratch {
+    routes_valid: bool,
+    routes: Vec<RouteServer>,
+    states1: Vec<TreeRoundState>,
+    states2: Vec<TreeRoundState>,
+    first: Vec<Allocation>,
+    overlays: Vec<Vec<Option<SupplyInput>>>,
+    stranded: HashMap<(ServerId, SupplyIndex), Watts>,
+    sorted_keys: Vec<(ServerId, SupplyIndex)>,
+}
+
+impl SpoScratch {
+    /// Creates an empty scratch; the first round shapes it.
+    pub fn new() -> Self {
+        SpoScratch::default()
+    }
+
+    /// Invalidates the cached routes and round states. Must be called
+    /// whenever the tree set changes (feed failure / restore): routes are
+    /// keyed by tree index and leaf slot.
+    pub fn invalidate(&mut self) {
+        self.routes_valid = false;
+        for s in &mut self.states1 {
+            s.invalidate();
+        }
+        for s in &mut self.states2 {
+            s.invalidate();
+        }
+    }
+
+    fn rebuild_routes(&mut self, trees: &[ControlTree]) {
+        self.routes.clear();
+        self.overlays.clear();
+        let mut by_server: HashMap<ServerId, usize> = HashMap::new();
+        for (t, tree) in trees.iter().enumerate() {
+            self.overlays.push(vec![None; tree.spec().len()]);
+            let leaf_index = tree.arena().leaf_index();
+            for slot in 0..leaf_index.len() {
+                let idx = leaf_index.node(slot);
+                let Some(leaf) = tree.spec().node(idx).leaf else {
+                    continue;
+                };
+                let entry = *by_server.entry(leaf.server).or_insert_with(|| {
+                    self.routes.push(RouteServer {
+                        server: leaf.server,
+                        supplies: Vec::new(),
+                    });
+                    self.routes.len() - 1
+                });
+                self.routes[entry].supplies.push(RouteSupply {
+                    tree: t as u32,
+                    node: idx as u32,
+                    slot: slot as u32,
+                    supply: leaf.supply,
+                });
+            }
+        }
+        self.routes_valid = true;
+    }
+}
+
+/// Allocation-free variant of [`optimize_stranded_power`] for the control
+/// plane's hot path: both passes run through [`ControlTree::allocate_in`]
+/// with round states held in `scratch`, strand detection walks precomputed
+/// per-server routes, and the pass-2 input shrink is applied as an overlay
+/// instead of cloning the trees. Writes the post-SPO allocations into
+/// `second` (buffers reused) and returns the total stranded power detected
+/// in the first pass, summed in `(server, supply)` order.
+///
+/// Bit-identical to [`optimize_stranded_power`] on the same inputs.
+///
+/// The caller must call [`SpoScratch::invalidate`] whenever the tree set
+/// changes between rounds.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn optimize_stranded_power_in(
+    trees: &[ControlTree],
+    root_budgets: &[Watts],
+    policy: &dyn CappingPolicy,
+    scratch: &mut SpoScratch,
+    second: &mut Vec<Allocation>,
+) -> Watts {
+    assert_eq!(
+        trees.len(),
+        root_budgets.len(),
+        "one root budget per tree is required"
+    );
+    let n = trees.len();
+    if !scratch.routes_valid || scratch.overlays.len() != n {
+        scratch.rebuild_routes(trees);
+    }
+    if scratch.states1.len() != n {
+        scratch.states1.resize_with(n, TreeRoundState::new);
+        scratch.states2.resize_with(n, TreeRoundState::new);
+    }
+    if scratch.first.len() != n {
+        scratch.first.clear();
+        scratch.first.resize_with(n, Allocation::default);
+    }
+    if second.len() != n {
+        second.clear();
+        second.resize_with(n, Allocation::default);
+    }
+
+    // Pass 1: plain allocation (incremental per tree).
+    for i in 0..n {
+        trees[i].allocate_in(
+            root_budgets[i],
+            policy,
+            &mut scratch.states1[i],
+            None,
+            &mut scratch.first[i],
+        );
+    }
+
+    // Strand detection over the precomputed routes — the same max/min/mul
+    // operations as `detect_strands`, so the results are bit-identical.
+    for overlay in &mut scratch.overlays {
+        overlay.iter_mut().for_each(|o| *o = None);
+    }
+    scratch.stranded.clear();
+    for rs in &scratch.routes {
+        let mut demand = Watts::ZERO;
+        let mut cap_min = Watts::ZERO;
+        let mut limit = f64::INFINITY;
+        let mut any_input = false;
+        for s in &rs.supplies {
+            let Some(input) = trees[s.tree as usize].input_at(s.node as usize) else {
+                continue;
+            };
+            any_input = true;
+            demand = demand.max(input.demand);
+            cap_min = cap_min.max(input.cap_min);
+            let share = input.share.as_f64();
+            if share > 0.0 {
+                let budget = scratch.first[s.tree as usize].leaf_budget(s.slot as usize);
+                limit = limit.min(budget.as_f64() / share);
+            }
+        }
+        if !any_input {
+            continue;
+        }
+        let demand = demand.max(cap_min);
+        let actual = if limit.is_finite() {
+            demand.min(Watts::new(limit))
+        } else {
+            demand
+        };
+        for s in &rs.supplies {
+            let Some(&input) = trees[s.tree as usize].input_at(s.node as usize) else {
+                continue;
+            };
+            let budget = scratch.first[s.tree as usize].leaf_budget(s.slot as usize);
+            let usable = actual * input.share.as_f64();
+            let strand = budget.saturating_sub(usable);
+            if strand > STRAND_EPSILON {
+                scratch.stranded.insert((rs.server, s.supply), strand);
+                scratch.overlays[s.tree as usize][s.node as usize] = Some(SupplyInput {
+                    demand: actual,
+                    cap_max: actual.max(input.cap_min),
+                    ..input
+                });
+            }
+        }
+    }
+
+    // Total stranded, summed in deterministic key order.
+    scratch.sorted_keys.clear();
+    scratch.sorted_keys.extend(scratch.stranded.keys().copied());
+    scratch.sorted_keys.sort_unstable();
+    let total: Watts = scratch
+        .sorted_keys
+        .iter()
+        .map(|k| scratch.stranded[k])
+        .sum();
+
+    // Pass 2: re-allocate with the shrunken inputs overlaid.
+    for i in 0..n {
+        trees[i].allocate_in(
+            root_budgets[i],
+            policy,
+            &mut scratch.states2[i],
+            Some(&scratch.overlays[i]),
+            &mut second[i],
+        );
+    }
+    total
+}
+
 /// Iterates [`optimize_stranded_power`] until no further stranded power is
 /// found (or `max_rounds` is hit) — an extension beyond the paper, which
 /// runs the optimization exactly once per control period. Re-budgeting can
@@ -569,6 +783,47 @@ mod tests {
             &GlobalPriority::new(),
             0,
         );
+    }
+
+    #[test]
+    fn scratch_spo_is_bit_identical_to_cloning_path() {
+        let (_, mut trees) = fig7a_trees();
+        let policy = GlobalPriority::new();
+        let mut scratch = SpoScratch::new();
+        let mut second = Vec::new();
+        // Several rounds with different budgets and a demand change in the
+        // middle, reusing the scratch throughout: every round must match the
+        // cloning implementation bit for bit.
+        let budget_rounds = [
+            [Watts::new(700.0), Watts::new(700.0)],
+            [Watts::new(650.0), Watts::new(720.0)],
+            [Watts::new(650.0), Watts::new(720.0)],
+            [Watts::new(820.0), Watts::new(600.0)],
+        ];
+        for (round, budgets) in budget_rounds.iter().enumerate() {
+            if round == 2 {
+                for tree in &mut trees {
+                    tree.set_inputs_with(|server, _| {
+                        let bump = if server.index() == 0 { 12.0 } else { 0.0 };
+                        SupplyInput {
+                            demand: Watts::new(414.0 + bump),
+                            cap_min: Watts::new(270.0),
+                            cap_max: Watts::new(490.0),
+                            share: Ratio::new(0.5),
+                        }
+                    });
+                }
+            }
+            let expected = optimize_stranded_power(&trees, budgets, &policy);
+            let total =
+                optimize_stranded_power_in(&trees, budgets, &policy, &mut scratch, &mut second);
+            assert_eq!(second, expected.second, "round {round} allocations differ");
+            assert_eq!(
+                total.as_f64().to_bits(),
+                expected.total_stranded().as_f64().to_bits(),
+                "round {round} stranded totals differ"
+            );
+        }
     }
 
     #[test]

@@ -1,12 +1,22 @@
 //! The runtime control tree: shifting controllers mirroring the power
 //! topology, with gather-up and budget-down passes (paper §4.1/§4.3).
+//!
+//! Internally the tree is backed by a flat **arena** ([`TreeArena`]):
+//! flattened child lists, per-node contexts/limits, and a dense index of
+//! leaf slots ([`LeafIndex`]), so the per-round passes are branch-predictable
+//! array walks instead of pointer chases and map lookups. Rounds are made
+//! **incremental** by generation-stamped leaf inputs plus a reusable
+//! [`TreeRoundState`]: [`ControlTree::allocate_in`] re-summarizes only
+//! subtrees with a dirtied descendant and performs no heap allocation once
+//! its buffers are warm.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use capmaestro_topology::{ControlTreeSpec, Priority, ServerId, SupplyIndex};
 use capmaestro_units::{Ratio, Watts};
 
-use crate::budget::split_budget;
+use crate::budget::{split_budget_into, SplitScratch};
 use crate::metrics::{LeafInput, PriorityMetrics};
 use crate::policy::{CappingPolicy, NodeContext, PriorityVisibility};
 
@@ -24,12 +34,182 @@ pub struct SupplyInput {
     pub share: Ratio,
 }
 
+/// Dense index of a control tree's leaves: maps `(server, supply)` pairs to
+/// contiguous **leaf slots** in spec-leaf order. One instance is built per
+/// tree and shared (via [`Arc`]) with every [`Allocation`] the tree
+/// produces, so leaf budgets live in a flat slot-indexed vector instead of
+/// a per-round hash map.
+#[derive(Debug, Default)]
+pub struct LeafIndex {
+    /// `(server, supply)` per slot, in spec-leaf order.
+    pairs: Vec<(ServerId, SupplyIndex)>,
+    /// Spec node index per slot.
+    nodes: Vec<u32>,
+    /// Slots sorted by `(server, supply)` — the deterministic order for
+    /// order-sensitive f64 sums.
+    sorted_slots: Vec<u32>,
+    /// Reverse lookup from a pair to its slot.
+    map: HashMap<(ServerId, SupplyIndex), u32>,
+}
+
+impl LeafIndex {
+    fn build(spec: &ControlTreeSpec) -> Self {
+        let mut index = LeafIndex::default();
+        for (idx, leaf) in spec.leaves() {
+            let slot = index.pairs.len() as u32;
+            index.pairs.push((leaf.server, leaf.supply));
+            index.nodes.push(idx as u32);
+            index.map.insert((leaf.server, leaf.supply), slot);
+        }
+        let mut sorted: Vec<u32> = (0..index.pairs.len() as u32).collect();
+        sorted.sort_unstable_by_key(|&s| index.pairs[s as usize]);
+        index.sorted_slots = sorted;
+        index
+    }
+
+    /// Number of leaf slots.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The slot for a `(server, supply)` pair, if that supply is a leaf.
+    pub fn slot(&self, server: ServerId, supply: SupplyIndex) -> Option<usize> {
+        self.map.get(&(server, supply)).map(|&s| s as usize)
+    }
+
+    /// The spec node index backing a slot.
+    pub fn node(&self, slot: usize) -> usize {
+        self.nodes[slot] as usize
+    }
+
+    /// The `(server, supply)` pair at a slot.
+    pub fn pair(&self, slot: usize) -> (ServerId, SupplyIndex) {
+        self.pairs[slot]
+    }
+}
+
+/// Flat, level-free arena view of a [`ControlTreeSpec`]: flattened child
+/// lists with per-node ranges, precomputed [`NodeContext`]s and limits, and
+/// the shared [`LeafIndex`]. Built once per tree so the per-round passes
+/// never chase spec pointers or consult maps.
+#[derive(Debug, Clone)]
+pub struct TreeArena {
+    /// All child indices, flattened in node order.
+    children: Vec<u32>,
+    /// `(start, end)` into `children` per node.
+    child_range: Vec<(u32, u32)>,
+    /// Policy context (depth, leaf-parent flag) per node.
+    ctx: Vec<NodeContext>,
+    /// Shifting-controller power limit per node.
+    limits: Vec<Option<Watts>>,
+    /// The dense leaf slot index, shared with allocations.
+    leaf_index: Arc<LeafIndex>,
+}
+
+impl TreeArena {
+    fn build(spec: &ControlTreeSpec) -> Self {
+        let n = spec.len();
+        let mut children = Vec::new();
+        let mut child_range = Vec::with_capacity(n);
+        let mut ctx = Vec::with_capacity(n);
+        let mut limits = Vec::with_capacity(n);
+        let mut depths = vec![0usize; n];
+        for idx in 0..n {
+            let node = spec.node(idx);
+            if let Some(p) = node.parent {
+                depths[idx] = depths[p] + 1;
+            }
+            let start = children.len() as u32;
+            children.extend(node.children.iter().map(|&c| c as u32));
+            child_range.push((start, children.len() as u32));
+            let is_leaf_parent = !node.children.is_empty()
+                && node.children.iter().all(|&c| spec.node(c).is_leaf());
+            ctx.push(NodeContext {
+                is_leaf_parent,
+                depth: depths[idx],
+            });
+            limits.push(node.limit);
+        }
+        TreeArena {
+            children,
+            child_range,
+            ctx,
+            limits,
+            leaf_index: Arc::new(LeafIndex::build(spec)),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.child_range.len()
+    }
+
+    /// Whether the arena has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.child_range.is_empty()
+    }
+
+    /// The children of a node, as arena indices.
+    pub fn children_of(&self, idx: usize) -> &[u32] {
+        let (start, end) = self.child_range[idx];
+        &self.children[start as usize..end as usize]
+    }
+
+    /// The policy context of a node.
+    pub fn context(&self, idx: usize) -> NodeContext {
+        self.ctx[idx]
+    }
+
+    /// The power limit of a node, if constrained.
+    pub fn limit(&self, idx: usize) -> Option<Watts> {
+        self.limits[idx]
+    }
+
+    /// The shared leaf slot index.
+    pub fn leaf_index(&self) -> &Arc<LeafIndex> {
+        &self.leaf_index
+    }
+}
+
 /// The outcome of one allocation pass over a control tree.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Node budgets are indexed by spec/arena node index; leaf budgets live in
+/// a dense slot-indexed vector keyed by the tree's shared [`LeafIndex`], so
+/// lookups by `(server, supply)` are one hash probe into a prebuilt map
+/// rather than a per-round-built one.
+#[derive(Debug, Clone)]
 pub struct Allocation {
     node_budgets: Vec<Watts>,
-    supply_budgets: HashMap<(ServerId, SupplyIndex), Watts>,
+    leaf_budgets: Vec<Watts>,
+    leaf_index: Arc<LeafIndex>,
     unallocated: Watts,
+}
+
+impl Default for Allocation {
+    fn default() -> Self {
+        Allocation {
+            node_budgets: Vec::new(),
+            leaf_budgets: Vec::new(),
+            leaf_index: Arc::new(LeafIndex::default()),
+            unallocated: Watts::ZERO,
+        }
+    }
+}
+
+impl PartialEq for Allocation {
+    fn eq(&self, other: &Self) -> bool {
+        self.unallocated == other.unallocated
+            && self.node_budgets == other.node_budgets
+            && self.leaf_budgets.len() == other.leaf_budgets.len()
+            && self
+                .supply_budgets()
+                .all(|(server, supply, w)| other.supply_budget(server, supply) == Some(w))
+    }
 }
 
 impl Allocation {
@@ -45,15 +225,34 @@ impl Allocation {
     /// The budget assigned to a server supply, if that supply is in this
     /// tree.
     pub fn supply_budget(&self, server: ServerId, supply: SupplyIndex) -> Option<Watts> {
-        self.supply_budgets.get(&(server, supply)).copied()
+        self.leaf_index
+            .slot(server, supply)
+            .map(|s| self.leaf_budgets[s])
     }
 
-    /// Iterates `(server, supply, budget)` over all leaf budgets.
+    /// The budget at a leaf slot (see [`LeafIndex`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn leaf_budget(&self, slot: usize) -> Watts {
+        self.leaf_budgets[slot]
+    }
+
+    /// The leaf slot index this allocation's leaf budgets are keyed by.
+    pub fn leaf_index(&self) -> &LeafIndex {
+        &self.leaf_index
+    }
+
+    /// Iterates `(server, supply, budget)` over all leaf budgets, in
+    /// spec-leaf (slot) order.
     pub fn supply_budgets(
         &self,
     ) -> impl Iterator<Item = (ServerId, SupplyIndex, Watts)> + '_ {
-        self.supply_budgets
+        self.leaf_index
+            .pairs
             .iter()
+            .zip(&self.leaf_budgets)
             .map(|(&(server, supply), &w)| (server, supply, w))
     }
 
@@ -65,13 +264,45 @@ impl Allocation {
     /// Total budget across all leaves.
     ///
     /// Summed in `(server, supply)` order so the result is independent of
-    /// the map's per-instance iteration order (f64 addition is not
-    /// associative).
+    /// slot layout (f64 addition is not associative).
     pub fn total_leaf_budget(&self) -> Watts {
-        let mut entries: Vec<(&(ServerId, SupplyIndex), &Watts)> =
-            self.supply_budgets.iter().collect();
-        entries.sort_unstable_by_key(|(&key, _)| key);
-        entries.into_iter().map(|(_, &w)| w).sum()
+        self.leaf_index
+            .sorted_slots
+            .iter()
+            .map(|&s| self.leaf_budgets[s as usize])
+            .sum()
+    }
+}
+
+/// Reusable per-tree round state for [`ControlTree::allocate_in`]: the
+/// cached per-node [`PriorityMetrics`] with their dirty/generation
+/// bookkeeping, plus every scratch buffer the gather and budget-down passes
+/// need. Keep one per (tree, pass) and reuse it across rounds; steady-state
+/// rounds then allocate nothing.
+#[derive(Debug, Default)]
+pub struct TreeRoundState {
+    valid: bool,
+    policy_name: String,
+    metrics: Vec<PriorityMetrics>,
+    dirty: Vec<bool>,
+    seen_gens: Vec<u64>,
+    last_leaves: Vec<Option<(SupplyInput, Priority)>>,
+    children_scratch: Vec<PriorityMetrics>,
+    split_scratch: SplitScratch,
+    split_budgets: Vec<Watts>,
+}
+
+impl TreeRoundState {
+    /// Creates an empty state; the first `allocate_in` call shapes it.
+    pub fn new() -> Self {
+        TreeRoundState::default()
+    }
+
+    /// Drops all cached metrics: the next round recomputes every subtree
+    /// from scratch (still bit-identical — used by differential tests and
+    /// the full-recompute benchmark mode).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
     }
 }
 
@@ -107,24 +338,27 @@ impl Allocation {
 pub struct ControlTree {
     spec: ControlTreeSpec,
     inputs: Vec<Option<SupplyInput>>,
-    depths: Vec<usize>,
+    arena: TreeArena,
+    /// Per-node generation stamp, bumped when a leaf's input or priority
+    /// actually changes value. [`TreeRoundState`] compares stamps to skip
+    /// re-summarizing clean subtrees.
+    generations: Vec<u64>,
+    generation: u64,
 }
 
 impl ControlTree {
     /// Creates a tree with no supply inputs set; every leaf must receive a
     /// [`SupplyInput`] before [`ControlTree::allocate`].
     pub fn new(spec: ControlTreeSpec) -> Self {
-        let mut depths = vec![0usize; spec.len()];
-        for idx in 0..spec.len() {
-            if let Some(p) = spec.node(idx).parent {
-                depths[idx] = depths[p] + 1;
-            }
-        }
+        let arena = TreeArena::build(&spec);
         let inputs = vec![None; spec.len()];
+        let generations = vec![0u64; spec.len()];
         ControlTree {
             spec,
             inputs,
-            depths,
+            arena,
+            generations,
+            generation: 0,
         }
     }
 
@@ -134,7 +368,7 @@ impl ControlTree {
         let mut tree = ControlTree::new(spec);
         for idx in 0..tree.spec.len() {
             if tree.spec.node(idx).is_leaf() {
-                tree.inputs[idx] = Some(input);
+                tree.set_input_at(idx, input);
             }
         }
         tree
@@ -145,6 +379,23 @@ impl ControlTree {
         &self.spec
     }
 
+    /// The flat arena view of this tree.
+    pub fn arena(&self) -> &TreeArena {
+        &self.arena
+    }
+
+    fn bump(&mut self, idx: usize) {
+        self.generation += 1;
+        self.generations[idx] = self.generation;
+    }
+
+    fn set_input_at(&mut self, idx: usize, input: SupplyInput) {
+        if self.inputs[idx] != Some(input) {
+            self.inputs[idx] = Some(input);
+            self.bump(idx);
+        }
+    }
+
     /// Sets the input for a server supply. Returns `false` if the supply is
     /// not a leaf of this tree.
     pub fn set_supply_input(
@@ -153,22 +404,22 @@ impl ControlTree {
         supply: SupplyIndex,
         input: SupplyInput,
     ) -> bool {
-        for idx in 0..self.spec.len() {
-            if let Some(leaf) = &self.spec.node(idx).leaf {
-                if leaf.server == server && leaf.supply == supply {
-                    self.inputs[idx] = Some(input);
-                    return true;
-                }
+        match self.arena.leaf_index.slot(server, supply) {
+            Some(slot) => {
+                let idx = self.arena.leaf_index.node(slot);
+                self.set_input_at(idx, input);
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Sets inputs for all leaves from a callback.
     pub fn set_inputs_with(&mut self, mut f: impl FnMut(ServerId, SupplyIndex) -> SupplyInput) {
         for idx in 0..self.spec.len() {
             if let Some(leaf) = self.spec.node(idx).leaf {
-                self.inputs[idx] = Some(f(leaf.server, leaf.supply));
+                let input = f(leaf.server, leaf.supply);
+                self.set_input_at(idx, input);
             }
         }
     }
@@ -184,21 +435,13 @@ impl ControlTree {
     pub fn set_priorities_with(&mut self, mut f: impl FnMut(ServerId) -> Priority) {
         for idx in 0..self.spec.len() {
             if let Some(leaf) = self.spec.node_mut(idx).leaf.as_mut() {
-                leaf.priority = f(leaf.server);
+                let priority = f(leaf.server);
+                if leaf.priority != priority {
+                    leaf.priority = priority;
+                    self.generation += 1;
+                    self.generations[idx] = self.generation;
+                }
             }
-        }
-    }
-
-    fn node_context(&self, idx: usize) -> NodeContext {
-        let node = self.spec.node(idx);
-        let is_leaf_parent = !node.children.is_empty()
-            && node
-                .children
-                .iter()
-                .all(|&c| self.spec.node(c).is_leaf());
-        NodeContext {
-            is_leaf_parent,
-            depth: self.depths[idx],
         }
     }
 
@@ -228,7 +471,7 @@ impl ControlTree {
                     priority: leaf.priority,
                 });
             } else {
-                let visibility = policy.visibility(self.node_context(idx));
+                let visibility = policy.visibility(self.arena.context(idx));
                 let children: Vec<PriorityMetrics> = node
                     .children
                     .iter()
@@ -246,56 +489,193 @@ impl ControlTree {
     /// Runs one full control round: gather metrics, then distribute
     /// `root_budget` down the tree under `policy`.
     ///
+    /// This is the from-scratch path: every subtree is re-summarized and
+    /// the result is freshly allocated. The incremental equivalent is
+    /// [`ControlTree::allocate_in`]; both produce bit-identical budgets.
+    ///
     /// The effective root budget is clamped by the root node's own limit.
     ///
     /// # Panics
     ///
     /// Panics if the tree is empty or any leaf lacks an input.
     pub fn allocate(&self, root_budget: Watts, policy: &dyn CappingPolicy) -> Allocation {
-        assert!(!self.spec.is_empty(), "cannot allocate over an empty tree");
-        let metrics = self.gather(policy);
-        let n = self.spec.len();
-        let mut node_budgets = vec![Watts::ZERO; n];
-        let root = self.spec.root();
-        let root_limit = self.spec.node(root).limit.unwrap_or(root_budget);
-        node_budgets[root] = root_budget.min(root_limit);
-        let mut unallocated = root_budget - node_budgets[root];
+        let mut state = TreeRoundState::new();
+        let mut out = Allocation::default();
+        self.allocate_in(root_budget, policy, &mut state, None, &mut out);
+        out
+    }
 
-        #[allow(clippy::needless_range_loop)] // parallel arrays indexed in topological order
-        for idx in 0..n {
+    /// Incremental, allocation-free variant of [`ControlTree::allocate`].
+    ///
+    /// Gathers metrics with dirty-tracking — only subtrees with a dirtied
+    /// descendant (generation-stamp or value change on a leaf input /
+    /// priority, or an `overlay` difference) are re-summarized; clean nodes
+    /// reuse the [`PriorityMetrics`] cached in `state` — then runs the
+    /// budget-down pass into `out`, reusing its buffers. Performs no heap
+    /// allocation once `state` and `out` are warm.
+    ///
+    /// `overlay`, when present, is a spec-indexed slice of per-leaf input
+    /// replacements (used by the stranded-power optimizer's second pass):
+    /// `Some(input)` at a leaf overrides the tree's stored input for this
+    /// call only, without touching the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty, any leaf lacks an input, or `overlay`
+    /// is present with a length other than `spec().len()`.
+    pub fn allocate_in(
+        &self,
+        root_budget: Watts,
+        policy: &dyn CappingPolicy,
+        state: &mut TreeRoundState,
+        overlay: Option<&[Option<SupplyInput>]>,
+        out: &mut Allocation,
+    ) {
+        assert!(!self.spec.is_empty(), "cannot allocate over an empty tree");
+        let n = self.spec.len();
+        if let Some(o) = overlay {
+            assert_eq!(o.len(), n, "overlay must be spec-indexed");
+        }
+        // (Re)shape the state and invalidate on tree or policy change.
+        if state.metrics.len() != n || state.policy_name != policy.name() {
+            state.valid = false;
+            state.policy_name.clear();
+            state.policy_name.push_str(policy.name());
+            state.metrics.clear();
+            state.metrics.resize_with(n, PriorityMetrics::default);
+            state.dirty.clear();
+            state.dirty.resize(n, true);
+            state.seen_gens.clear();
+            state.seen_gens.resize(n, 0);
+            state.last_leaves.clear();
+            state.last_leaves.resize(n, None);
+        }
+
+        // Gather with dirty-tracking, children (higher indices) first.
+        for idx in (0..n).rev() {
             let node = self.spec.node(idx);
-            if node.children.is_empty() {
+            if let Some(leaf) = &node.leaf {
+                let base = self.inputs[idx];
+                let effective = match overlay {
+                    Some(o) => o[idx].or(base),
+                    None => base,
+                };
+                let current = effective.map(|input| (input, leaf.priority));
+                let dirty = !state.valid
+                    || state.seen_gens[idx] != self.generations[idx]
+                    || state.last_leaves[idx] != current;
+                state.dirty[idx] = dirty;
+                if dirty {
+                    let (input, priority) = current.unwrap_or_else(|| {
+                        panic!(
+                            "leaf {idx} ({}) has no supply input set",
+                            self.spec.node(idx).name
+                        )
+                    });
+                    PriorityMetrics::from_leaf_into(
+                        &LeafInput {
+                            demand: input.demand,
+                            cap_min: input.cap_min,
+                            cap_max: input.cap_max,
+                            share: input.share,
+                            priority,
+                        },
+                        &mut state.metrics[idx],
+                    );
+                    state.last_leaves[idx] = current;
+                }
+                state.seen_gens[idx] = self.generations[idx];
+            } else {
+                let children = self.arena.children_of(idx);
+                let dirty =
+                    !state.valid || children.iter().any(|&c| state.dirty[c as usize]);
+                state.dirty[idx] = dirty;
+                if dirty {
+                    let blind = matches!(
+                        policy.visibility(self.arena.context(idx)),
+                        PriorityVisibility::Blind
+                    );
+                    // Children always have higher spec indices than their
+                    // parent (topological push order), so a split borrow
+                    // separates the output node from its children.
+                    let (head, tail) = state.metrics.split_at_mut(idx + 1);
+                    PriorityMetrics::aggregate_into(
+                        children.iter().map(|&c| &tail[c as usize - idx - 1]),
+                        self.arena.limit(idx),
+                        blind,
+                        &mut head[idx],
+                    );
+                }
+            }
+        }
+        state.valid = true;
+
+        // Budget-down pass.
+        let root = self.spec.root();
+        out.node_budgets.clear();
+        out.node_budgets.resize(n, Watts::ZERO);
+        let root_limit = self.arena.limit(root).unwrap_or(root_budget);
+        out.node_budgets[root] = root_budget.min(root_limit);
+        let mut unallocated = root_budget - out.node_budgets[root];
+
+        let TreeRoundState {
+            metrics,
+            children_scratch,
+            split_scratch,
+            split_budgets,
+            ..
+        } = state;
+        for idx in 0..n {
+            let children = self.arena.children_of(idx);
+            if children.is_empty() {
                 continue;
             }
-            let visibility = policy.visibility(self.node_context(idx));
-            let children_metrics: Vec<PriorityMetrics> = node
-                .children
-                .iter()
-                .map(|&c| match visibility {
-                    PriorityVisibility::Full => metrics[c].clone(),
-                    PriorityVisibility::Blind => metrics[c].collapsed(),
-                })
-                .collect();
-            let split = split_budget(node_budgets[idx], &children_metrics);
-            for (&child, budget) in node.children.iter().zip(&split.budgets) {
-                node_budgets[child] = *budget;
+            let visibility = policy.visibility(self.arena.context(idx));
+            if children_scratch.len() < children.len() {
+                children_scratch.resize_with(children.len(), PriorityMetrics::default);
+            }
+            for (s, &c) in children.iter().enumerate() {
+                match visibility {
+                    PriorityVisibility::Full => {
+                        children_scratch[s].copy_from(&metrics[c as usize])
+                    }
+                    PriorityVisibility::Blind => {
+                        metrics[c as usize].collapsed_into(&mut children_scratch[s])
+                    }
+                }
+            }
+            let leftover = split_budget_into(
+                out.node_budgets[idx],
+                &children_scratch[..children.len()],
+                split_scratch,
+                split_budgets,
+            );
+            for (&child, budget) in children.iter().zip(split_budgets.iter()) {
+                out.node_budgets[child as usize] = *budget;
             }
             if idx == root {
-                unallocated += split.unallocated;
+                unallocated += leftover;
             }
         }
 
-        let mut supply_budgets = HashMap::new();
-        for (idx, budget) in node_budgets.iter().enumerate() {
-            if let Some(leaf) = &self.spec.node(idx).leaf {
-                supply_budgets.insert((leaf.server, leaf.supply), *budget);
-            }
-        }
-        Allocation {
+        // Leaf budgets by slot.
+        let leaf_index = &self.arena.leaf_index;
+        let Allocation {
             node_budgets,
-            supply_budgets,
-            unallocated,
+            leaf_budgets,
+            ..
+        } = out;
+        leaf_budgets.clear();
+        leaf_budgets.extend(
+            leaf_index
+                .nodes
+                .iter()
+                .map(|&node| node_budgets[node as usize]),
+        );
+        if !Arc::ptr_eq(&out.leaf_index, leaf_index) {
+            out.leaf_index = Arc::clone(leaf_index);
         }
+        out.unallocated = unallocated;
     }
 
     /// The distinct priority levels present among this tree's leaves,

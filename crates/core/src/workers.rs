@@ -26,7 +26,7 @@ use parking_lot::RwLock;
 use capmaestro_topology::{ServerId, SupplyIndex};
 use capmaestro_units::{Ratio, Watts};
 
-use crate::budget::split_budget;
+use crate::budget::{split_budget, split_budget_into, SplitScratch};
 use crate::capping::CappingController;
 use crate::estimator::DemandEstimator;
 use crate::metrics::{LeafInput, PriorityMetrics};
@@ -645,6 +645,10 @@ fn rack_worker_loop(
     let mut leaf_metrics: HashMap<(CutId, usize), PriorityMetrics> = HashMap::new();
     // Budgets accumulated per server across this worker's cut nodes.
     let mut round_budgets: HashMap<ServerId, Vec<(SupplyIndex, Watts)>> = HashMap::new();
+    // Reusable budget-split buffers: the worker thread is long-lived, so
+    // the per-cut split borrows these instead of allocating every round.
+    let mut split_scratch = SplitScratch::default();
+    let mut split_budgets: Vec<Watts> = Vec::new();
 
     while let Ok(msg) = down.recv() {
         match msg {
@@ -745,8 +749,13 @@ fn rack_worker_loop(
                                 .map(PriorityMetrics::collapsed)
                                 .collect(),
                         };
-                    let split = split_budget(budget, &children_metrics);
-                    for (&(_, server, supply), b) in leaves.iter().zip(&split.budgets) {
+                    split_budget_into(
+                        budget,
+                        &children_metrics,
+                        &mut split_scratch,
+                        &mut split_budgets,
+                    );
+                    for (&(_, server, supply), b) in leaves.iter().zip(&split_budgets) {
                         round_budgets
                             .entry(server)
                             .or_default()
@@ -760,17 +769,13 @@ fn rack_worker_loop(
                         continue;
                     };
                     let snap = srv.sense();
-                    let shares = srv.bank().effective_shares();
-                    let mut bs = Vec::new();
-                    let mut ms = Vec::new();
-                    for &(supply, b) in supply_budgets {
-                        let idx = supply.index();
-                        if shares.get(idx).map(|s| s.as_f64() > 0.0) == Some(true) {
-                            bs.push(b);
-                            ms.push(snap.supply_ac[idx]);
-                        }
-                    }
-                    if bs.is_empty() {
+                    let covered = supply_budgets
+                        .iter()
+                        .filter(|&&(supply, _)| {
+                            srv.bank().effective_share(supply.index()).as_f64() > 0.0
+                        })
+                        .count();
+                    if covered == 0 {
                         continue;
                     }
                     let model = srv.config().model();
@@ -781,7 +786,17 @@ fn rack_worker_loop(
                             srv.bank().efficiency(),
                         )
                     });
-                    let cap = controller.update(&bs, &ms);
+                    let cap =
+                        controller.update_pairs(supply_budgets.iter().filter_map(
+                            |&(supply, b)| {
+                                let idx = supply.index();
+                                if srv.bank().effective_share(idx).as_f64() > 0.0 {
+                                    Some((b, snap.supply_ac[idx]))
+                                } else {
+                                    None
+                                }
+                            },
+                        ));
                     srv.set_dc_cap(cap);
                 }
             }

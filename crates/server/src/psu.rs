@@ -264,6 +264,34 @@ impl PsuBank {
             .collect()
     }
 
+    /// Iterates the effective load shares in supply order without
+    /// allocating — same values as [`PsuBank::effective_shares`], for
+    /// callers on the per-round hot path.
+    pub fn effective_shares_iter(&self) -> impl Iterator<Item = Ratio> + '_ {
+        let total: f64 = self
+            .supplies
+            .iter()
+            .filter(|s| s.state().carries_load())
+            .map(|s| s.weight())
+            .sum();
+        self.supplies.iter().map(move |s| {
+            if s.state().carries_load() && total > 0.0 {
+                Ratio::new(s.weight() / total)
+            } else {
+                Ratio::ZERO
+            }
+        })
+    }
+
+    /// The effective load share of one supply (see
+    /// [`PsuBank::effective_shares`]); [`Ratio::ZERO`] when `idx` is out of
+    /// range.
+    pub fn effective_share(&self, idx: usize) -> Ratio {
+        self.effective_shares_iter()
+            .nth(idx)
+            .unwrap_or(Ratio::ZERO)
+    }
+
     /// Per-supply AC input power when the server draws `total_ac` at the
     /// wall.
     pub fn ac_loads(&self, total_ac: Watts) -> Vec<Watts> {
@@ -277,11 +305,10 @@ impl PsuBank {
     /// carrying supplies' efficiencies (equals the common `k` when supplies
     /// are identical).
     pub fn efficiency(&self) -> Ratio {
-        let shares = self.effective_shares();
         let k: f64 = self
             .supplies
             .iter()
-            .zip(&shares)
+            .zip(self.effective_shares_iter())
             .map(|(s, r)| s.efficiency().as_f64() * r.as_f64())
             .sum();
         if k > 0.0 {

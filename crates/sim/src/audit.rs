@@ -190,6 +190,13 @@ pub enum InvariantKind {
     /// the fault schedule drained (recorded by the chaos harness via
     /// [`InvariantTracker::record`]).
     Recovery,
+    /// A control tree's feed-level meter total (the physical load the
+    /// infrastructure's own meters read) persistently exceeded the sum of
+    /// the readings its servers reported — the signature of an
+    /// under-reporting sensor gain, which server-side plausibility
+    /// screening cannot catch (paper §7: a too-low reading is
+    /// indistinguishable from a genuinely lighter load at the server).
+    MeterMismatch,
 }
 
 /// One observed breach of a safety invariant.
@@ -224,6 +231,19 @@ pub struct InvariantConfig {
     /// Watts of cap (and draw) above the floor a lower-priority server
     /// must hold for its headroom to count as reallocatable.
     pub low_headroom: Watts,
+    /// Fractional gap between a tree's physical meter sum and its
+    /// reported sum before the metering cross-check counts the second as
+    /// under-reported. Deliberately coarser than `budget_tolerance`: the
+    /// reported side lags the physical side by one settling step, and
+    /// honest telemetry faults (frozen or noisy sensors) wobble the gap
+    /// without the sustained, large, one-sided signature of a
+    /// miscalibrated gain.
+    pub meter_tolerance: f64,
+    /// Absolute slack added on top of `meter_tolerance`, watts.
+    pub meter_slack: Watts,
+    /// Consecutive interposed seconds the under-reporting gap must
+    /// persist before a [`InvariantKind::MeterMismatch`] is recorded.
+    pub meter_sustain_s: u64,
 }
 
 impl Default for InvariantConfig {
@@ -234,6 +254,9 @@ impl Default for InvariantConfig {
             sustain_s: 32,
             high_throttle_eps: 0.08,
             low_headroom: Watts::new(8.0),
+            meter_tolerance: 0.05,
+            meter_slack: Watts::new(10.0),
+            meter_sustain_s: 48,
         }
     }
 }
@@ -246,7 +269,10 @@ impl Default for InvariantConfig {
 /// the control plane, or physically unpowered are **exempt** from the
 /// budget and priority checks — the degradation ladder deliberately
 /// over-throttles or fail-safes them, and their telemetry is known to be
-/// lies. Breaker trips are never exempt.
+/// lies. Breaker trips are never exempt, and neither is the feed-level
+/// metering cross-check ([`InvariantKind::MeterMismatch`]): it compares
+/// the physical per-tree load against what the servers *claimed*, so the
+/// lie itself is the detection target.
 #[derive(Debug)]
 pub struct InvariantTracker {
     config: InvariantConfig,
@@ -255,6 +281,9 @@ pub struct InvariantTracker {
     over_budget_s: HashMap<usize, u64>,
     /// Consecutive seconds each tree (by index) has shown an inversion.
     inversion_s: HashMap<usize, u64>,
+    /// Consecutive interposed seconds each tree's physical meter sum has
+    /// exceeded its reported sum beyond tolerance.
+    meter_gap_s: HashMap<usize, u64>,
     /// Servers whose cap was out of range last second (dedup).
     out_of_range: HashSet<ServerId>,
     /// Trip entries of the engine trace already reported.
@@ -270,6 +299,7 @@ impl InvariantTracker {
             violations: Vec::new(),
             over_budget_s: HashMap::new(),
             inversion_s: HashMap::new(),
+            meter_gap_s: HashMap::new(),
             out_of_range: HashSet::new(),
             trips_seen: 0,
             seconds_observed: 0,
@@ -470,6 +500,74 @@ impl InvariantTracker {
             } else {
                 *ctr = 0;
             }
+        }
+
+        // Feed-level metering cross-check: the physical per-tree load
+        // (what the infrastructure's own meters read) reconciled against
+        // the sum of the readings the control plane was actually handed.
+        // Servers whose reading was not delivered this second are left
+        // out of BOTH sums; fault-affected servers are deliberately NOT
+        // exempt — a lied-about reading is exactly what this check
+        // exists to detect. Only the under-reporting direction counts:
+        // over-reporting already degrades safely through server-side
+        // screening, while a persistent under-reporting gain silently
+        // uncaps the feed. Quiet seconds (no interposition) are skipped
+        // and reset the sustain counters.
+        match engine.delivered_readings() {
+            Some(delivered) => {
+                let reported: HashMap<ServerId, &_> =
+                    delivered.iter().map(|(id, snap)| (*id, snap)).collect();
+                for (i, tree) in plane.trees().iter().enumerate() {
+                    let spec = tree.spec();
+                    let mut physical = Watts::ZERO;
+                    let mut claimed = Watts::ZERO;
+                    for (_, leaf) in spec.leaves() {
+                        let Some(snap) = reported.get(&leaf.server) else {
+                            continue;
+                        };
+                        let Some(server) = farm.get(leaf.server) else {
+                            continue;
+                        };
+                        let idx = leaf.supply.index();
+                        physical += server
+                            .sense()
+                            .supply_ac
+                            .get(idx)
+                            .copied()
+                            .unwrap_or(Watts::ZERO);
+                        claimed += snap
+                            .supply_ac
+                            .get(idx)
+                            .copied()
+                            .unwrap_or(Watts::ZERO);
+                    }
+                    let gap = physical.as_f64() - claimed.as_f64();
+                    let limit = self.config.meter_tolerance * physical.as_f64()
+                        + self.config.meter_slack.as_f64();
+                    let ctr = self.meter_gap_s.entry(i).or_insert(0);
+                    if gap > limit {
+                        *ctr += 1;
+                        if *ctr == self.config.meter_sustain_s {
+                            self.violations.push(Violation {
+                                second: now,
+                                kind: InvariantKind::MeterMismatch,
+                                detail: format!(
+                                    "tree {i} ({} {:?}): feed meters read \
+                                     {physical} but servers reported \
+                                     {claimed} for {} s — under-reporting \
+                                     telemetry",
+                                    spec.feed(),
+                                    spec.phase(),
+                                    self.config.meter_sustain_s
+                                ),
+                            });
+                        }
+                    } else {
+                        *ctr = 0;
+                    }
+                }
+            }
+            None => self.meter_gap_s.clear(),
         }
     }
 }
@@ -690,6 +788,60 @@ mod tests {
             lenient.is_clean(),
             "default sustain must absorb controller convergence: {:?}",
             lenient.violations()
+        );
+    }
+
+    /// A persistent under-reporting gain (a sensor reading 25 % low) is
+    /// exactly the fault server-side screening cannot see: the plane
+    /// happily re-budgets the "freed" watts while the feed keeps carrying
+    /// the real load. The feed-level metering cross-check must flag it.
+    #[test]
+    fn under_reporting_gain_is_flagged_by_meter_cross_check() {
+        use crate::faults::FaultKind;
+
+        let rig = crate::scenarios::priority_rig(RigConfig::table2());
+        let sa = rig.server("SA");
+        let mut engine = crate::engine::Engine::new(rig);
+        engine.schedule(
+            40,
+            crate::engine::Event::InjectFault(sa, FaultKind::Spike { factor: 0.75 }),
+        );
+        let mut tracker = InvariantTracker::new(InvariantConfig::default());
+        engine.run_observed(300, |e| tracker.observe(e));
+        assert!(
+            tracker
+                .violations()
+                .iter()
+                .any(|v| v.kind == InvariantKind::MeterMismatch),
+            "a sustained 25 % under-reporting gain must trip the metering \
+             cross-check: {:?}",
+            tracker.violations()
+        );
+    }
+
+    /// The cross-check is one-sided: an over-reporting gain (the kind
+    /// chaos plans generate) reads as reported > physical and must not
+    /// trip it — the degradation ladder already owns that direction.
+    #[test]
+    fn over_reporting_gain_does_not_trip_meter_cross_check() {
+        use crate::faults::FaultKind;
+
+        let rig = crate::scenarios::priority_rig(RigConfig::table2());
+        let sa = rig.server("SA");
+        let mut engine = crate::engine::Engine::new(rig);
+        engine.schedule(
+            40,
+            crate::engine::Event::InjectFault(sa, FaultKind::Spike { factor: 1.3 }),
+        );
+        let mut tracker = InvariantTracker::new(InvariantConfig::default());
+        engine.run_observed(300, |e| tracker.observe(e));
+        assert!(
+            !tracker
+                .violations()
+                .iter()
+                .any(|v| v.kind == InvariantKind::MeterMismatch),
+            "over-reporting must not read as a meter mismatch: {:?}",
+            tracker.violations()
         );
     }
 

@@ -74,6 +74,12 @@ pub enum Event {
 }
 
 /// Everything the engine recorded, one sample per simulated second.
+///
+/// The per-series maps (`server_power`, `supply_power`, `throttle`,
+/// `dc_cap`, `node_load`) are filled from batched append buffers that the
+/// engine flushes when a run completes (or after every [`Engine::step`]);
+/// the event logs (`trips`, `lost_servers`, `stranded`) and `seconds` are
+/// always live.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Total AC power per server.
@@ -213,6 +219,178 @@ impl LoadIndex {
     }
 }
 
+/// Batched trace recording: per-second samples land in dense,
+/// slot-indexed append buffers (pure `Vec` pushes — no hashing on the
+/// per-second path), which are flushed into the [`Trace`] maps once per
+/// run (or per manual [`Engine::step`]). The slot layout mirrors the
+/// farm's snapshot sweep order and the topology's limited nodes, both of
+/// which are fixed for the engine's lifetime; if either ever changes the
+/// recorder flushes and relearns the layout, so series stay keyed
+/// correctly.
+#[derive(Debug, Default)]
+struct TraceRecorder {
+    ready: bool,
+    /// Server order of the snapshot sweep.
+    server_ids: Vec<ServerId>,
+    /// Supplies per server (length of its `supply_ac`).
+    supply_counts: Vec<usize>,
+    /// Prefix offsets of each server's supplies in `supply_power`.
+    supply_offsets: Vec<usize>,
+    server_power: Vec<Vec<f64>>,
+    throttle: Vec<Vec<f64>>,
+    dc_cap: Vec<Vec<f64>>,
+    supply_power: Vec<Vec<f64>>,
+    /// Limited nodes, in feed-major topology order.
+    node_keys: Vec<(FeedId, NodeId)>,
+    /// Per limited node: the `LoadIndex` slots of its present phases, in
+    /// `Phase::ALL` order — summing in this order keeps the aggregate
+    /// bit-identical to the per-phase `filter_map` it replaces.
+    node_phase_slots: Vec<Vec<usize>>,
+    node_load: Vec<Vec<f64>>,
+}
+
+impl TraceRecorder {
+    /// Whether the cached layout still matches this second's sweep.
+    fn matches(&self, snaps: &[(ServerId, SensorSnapshot)]) -> bool {
+        self.ready
+            && self.server_ids.len() == snaps.len()
+            && snaps.iter().enumerate().all(|(i, (id, snap))| {
+                self.server_ids[i] == *id
+                    && self.supply_counts[i] == snap.supply_ac.len()
+            })
+    }
+
+    /// Relearns the slot layout from this second's sweep and the static
+    /// topology, registering node names on first touch exactly as the
+    /// unbatched path did.
+    fn rebuild(
+        &mut self,
+        snaps: &[(ServerId, SensorSnapshot)],
+        topology: &Topology,
+        load_index: &LoadIndex,
+        node_names: &mut HashMap<(FeedId, NodeId), String>,
+    ) {
+        self.server_ids.clear();
+        self.supply_counts.clear();
+        self.supply_offsets.clear();
+        let mut supplies_total = 0;
+        for (id, snap) in snaps {
+            self.server_ids.push(*id);
+            self.supply_counts.push(snap.supply_ac.len());
+            self.supply_offsets.push(supplies_total);
+            supplies_total += snap.supply_ac.len();
+        }
+        self.server_power.resize_with(snaps.len(), Vec::new);
+        self.throttle.resize_with(snaps.len(), Vec::new);
+        self.dc_cap.resize_with(snaps.len(), Vec::new);
+        self.supply_power.resize_with(supplies_total, Vec::new);
+
+        self.node_keys.clear();
+        self.node_phase_slots.clear();
+        self.node_load.clear();
+        for graph in topology.feeds() {
+            for node in graph.iter() {
+                if graph.device(node).effective_limit().is_none() {
+                    continue;
+                }
+                let key = (graph.feed(), node);
+                self.node_keys.push(key);
+                self.node_phase_slots.push(
+                    Phase::ALL
+                        .iter()
+                        .filter_map(|&p| {
+                            load_index.slots.get(&(key.0, key.1, p)).copied()
+                        })
+                        .collect(),
+                );
+                self.node_load.push(Vec::new());
+                node_names
+                    .entry(key)
+                    .or_insert_with(|| graph.device(node).name().to_string());
+            }
+        }
+        self.ready = true;
+    }
+
+    /// Appends one second of samples. Nothing here hashes or allocates
+    /// beyond amortized series growth.
+    fn push_second(
+        &mut self,
+        snaps: &[(ServerId, SensorSnapshot)],
+        last_caps: &HashMap<ServerId, f64>,
+        loads: &[Watts],
+    ) {
+        for (slot, (id, snap)) in snaps.iter().enumerate() {
+            self.server_power[slot].push(snap.total_ac.as_f64());
+            self.throttle[slot].push(snap.throttle.as_f64());
+            self.dc_cap[slot]
+                .push(last_caps.get(id).copied().unwrap_or(f64::NAN));
+            let base = self.supply_offsets[slot];
+            for (i, p) in snap.supply_ac.iter().enumerate() {
+                self.supply_power[base + i].push(p.as_f64());
+            }
+        }
+        for (k, slots) in self.node_phase_slots.iter().enumerate() {
+            let mut load = Watts::ZERO;
+            for &slot in slots {
+                load += loads[slot];
+            }
+            self.node_load[k].push(load.as_f64());
+        }
+    }
+
+    /// Drains every pending buffer into the trace maps (append-only; a
+    /// key whose buffer is empty is left untouched, so flushing twice is
+    /// a no-op and no spurious empty series appear).
+    fn flush(&mut self, trace: &mut Trace) {
+        if !self.ready {
+            return;
+        }
+        for (slot, id) in self.server_ids.iter().enumerate() {
+            if !self.server_power[slot].is_empty() {
+                trace
+                    .server_power
+                    .entry(*id)
+                    .or_default()
+                    .append(&mut self.server_power[slot]);
+            }
+            if !self.throttle[slot].is_empty() {
+                trace
+                    .throttle
+                    .entry(*id)
+                    .or_default()
+                    .append(&mut self.throttle[slot]);
+            }
+            if !self.dc_cap[slot].is_empty() {
+                trace
+                    .dc_cap
+                    .entry(*id)
+                    .or_default()
+                    .append(&mut self.dc_cap[slot]);
+            }
+            let base = self.supply_offsets[slot];
+            for i in 0..self.supply_counts[slot] {
+                if !self.supply_power[base + i].is_empty() {
+                    trace
+                        .supply_power
+                        .entry((*id, SupplyIndex(i as u8)))
+                        .or_default()
+                        .append(&mut self.supply_power[base + i]);
+                }
+            }
+        }
+        for (k, key) in self.node_keys.iter().enumerate() {
+            if !self.node_load[k].is_empty() {
+                trace
+                    .node_load
+                    .entry(*key)
+                    .or_default()
+                    .append(&mut self.node_load[k]);
+            }
+        }
+    }
+}
+
 /// The time-stepped simulation engine.
 ///
 /// # Examples
@@ -242,7 +420,14 @@ pub struct Engine {
     /// Route sensing through the fault layer even when it is quiet
     /// (differential-test knob proving the slow path is a true no-op).
     force_interposition: bool,
-    last_report: Option<RoundReport>,
+    recorder: TraceRecorder,
+    /// The readings actually delivered to the control plane on the last
+    /// interposed second (reusable buffer; see
+    /// [`Engine::delivered_readings`]).
+    delivered: Vec<(ServerId, SensorSnapshot)>,
+    /// Whether the last stepped second sensed through the fault layer
+    /// (i.e. `delivered` describes it).
+    delivered_valid: bool,
 }
 
 impl Engine {
@@ -297,7 +482,9 @@ impl Engine {
             load_index,
             faults: FaultLayer::new(0),
             force_interposition: false,
-            last_report: None,
+            recorder: TraceRecorder::default(),
+            delivered: Vec::new(),
+            delivered_valid: false,
         }
     }
 
@@ -365,7 +552,16 @@ impl Engine {
 
     /// The most recent control round's decisions, if any round ran.
     pub fn last_round_report(&self) -> Option<&RoundReport> {
-        self.last_report.as_ref()
+        self.plane.last_report()
+    }
+
+    /// The sensor readings that were actually delivered to the control
+    /// plane on the last stepped second, when that second sensed through
+    /// the fault layer. `None` on quiet seconds (delivered ≡ physical, so
+    /// cross-checking them is vacuous). The feed-level metering audit
+    /// reconciles these against the physical farm state.
+    pub fn delivered_readings(&self) -> Option<&[(ServerId, SensorSnapshot)]> {
+        self.delivered_valid.then_some(self.delivered.as_slice())
     }
 
     /// The farm (e.g. for post-run inspection).
@@ -376,6 +572,13 @@ impl Engine {
     /// The control plane.
     pub fn plane(&self) -> &ControlPlane {
         &self.plane
+    }
+
+    /// Mutable access to the control plane — the differential-test knob
+    /// that lets a harness drop the plane's incremental round caches
+    /// between manually stepped seconds.
+    pub fn plane_mut(&mut self) -> &mut ControlPlane {
+        &mut self.plane
     }
 
     /// The topology.
@@ -517,93 +720,20 @@ impl Engine {
     }
 
     fn record(&mut self, snaps: &[(ServerId, SensorSnapshot)], loads: &[Watts]) {
-        // Per-server series. The four trace maps are independent, so they
-        // fill concurrently (one thread per map); each map's own push
-        // order is unchanged, so the trace is thread-count independent.
-        let threads = self.farm.parallelism();
-        let server_power = &mut self.trace.server_power;
-        let throttle = &mut self.trace.throttle;
-        let supply_power = &mut self.trace.supply_power;
-        let dc_cap = &mut self.trace.dc_cap;
-        let last_caps = &self.last_caps;
-        let push_supply_power =
-            |supply_power: &mut HashMap<(ServerId, SupplyIndex), Vec<f64>>| {
-                for (id, snap) in snaps {
-                    for (i, p) in snap.supply_ac.iter().enumerate() {
-                        supply_power
-                            .entry((*id, SupplyIndex(i as u8)))
-                            .or_default()
-                            .push(p.as_f64());
-                    }
-                }
-            };
-        if threads <= 1 {
-            for (id, snap) in snaps {
-                server_power
-                    .entry(*id)
-                    .or_default()
-                    .push(snap.total_ac.as_f64());
-                throttle
-                    .entry(*id)
-                    .or_default()
-                    .push(snap.throttle.as_f64());
-                let cap = last_caps.get(id).copied().unwrap_or(f64::NAN);
-                dc_cap.entry(*id).or_default().push(cap);
-            }
-            push_supply_power(supply_power);
-        } else {
-            std::thread::scope(|scope| {
-                scope.spawn(move || {
-                    for (id, snap) in snaps {
-                        server_power
-                            .entry(*id)
-                            .or_default()
-                            .push(snap.total_ac.as_f64());
-                    }
-                });
-                scope.spawn(move || {
-                    for (id, snap) in snaps {
-                        throttle
-                            .entry(*id)
-                            .or_default()
-                            .push(snap.throttle.as_f64());
-                    }
-                });
-                scope.spawn(move || push_supply_power(supply_power));
-                scope.spawn(move || {
-                    for (id, _) in snaps {
-                        let cap = last_caps.get(id).copied().unwrap_or(f64::NAN);
-                        dc_cap.entry(*id).or_default().push(cap);
-                    }
-                });
-            });
+        // Per-server and per-node series go into the recorder's dense
+        // append buffers — one plain push per sample, no hashing. The
+        // displayed node load aggregates the phases (safety checks use
+        // the per-phase values against the per-phase ratings).
+        if !self.recorder.matches(snaps) {
+            self.recorder.flush(&mut self.trace);
+            self.recorder.rebuild(
+                snaps,
+                &self.topology,
+                &self.load_index,
+                &mut self.trace.node_names,
+            );
         }
-        // Per-node series (a few hundred limited nodes at most).
-        for graph in self.topology.feeds() {
-            for node in graph.iter() {
-                if graph.device(node).effective_limit().is_none() {
-                    continue;
-                }
-                let key = (graph.feed(), node);
-                // Displayed load aggregates the phases; safety checks use
-                // the per-phase values against the per-phase ratings.
-                let load: Watts = Phase::ALL
-                    .iter()
-                    .filter_map(|&p| {
-                        self.load_index.load_at(loads, (graph.feed(), node, p))
-                    })
-                    .sum();
-                self.trace
-                    .node_load
-                    .entry(key)
-                    .or_default()
-                    .push(load.as_f64());
-                self.trace
-                    .node_names
-                    .entry(key)
-                    .or_insert_with(|| graph.device(node).name().to_string());
-            }
-        }
+        self.recorder.push_second(snaps, &self.last_caps, loads);
     }
 
     /// Runs the simulation for `seconds`, returning the accumulated trace.
@@ -624,7 +754,17 @@ impl Engine {
             self.step_second();
             observer(self);
         }
+        self.recorder.flush(&mut self.trace);
         self.trace.clone()
+    }
+
+    /// Advances the simulation by exactly one second and flushes the
+    /// recorded series — the manual-stepping alternative to
+    /// [`Engine::run`] for harnesses that mutate engine internals (e.g.
+    /// [`Engine::plane_mut`]) between seconds.
+    pub fn step(&mut self) {
+        self.step_second();
+        self.recorder.flush(&mut self.trace);
     }
 
     /// Advances the world by one second: events, sensing (through the
@@ -646,30 +786,29 @@ impl Engine {
             // quiet path senses directly (identical result, no per-reading
             // dispatch).
             self.faults.tick(self.time_s);
+            self.delivered.clear();
+            self.delivered_valid = false;
             if self.faults.is_quiet() && !self.force_interposition {
                 self.plane.record_sample(&self.farm);
             } else {
                 let faults = &mut self.faults;
                 let now_s = self.time_s;
-                let delivered: Vec<(ServerId, SensorSnapshot)> = self
-                    .farm
-                    .sense_all()
-                    .into_iter()
-                    .filter_map(|(id, raw)| {
+                self.delivered.extend(
+                    self.farm.sense_all().into_iter().filter_map(|(id, raw)| {
                         faults.intercept(now_s, id, raw).map(|snap| (id, snap))
-                    })
-                    .collect();
-                self.plane.record_snapshots(&self.farm, &delivered);
+                    }),
+                );
+                self.plane.record_snapshots(&self.farm, &self.delivered);
+                self.delivered_valid = true;
             }
             if self.config.control_enabled && self.time_s.is_multiple_of(self.config.control_period_s) {
-                let report = self.plane.run_round(&mut self.farm);
+                let report = self.plane.run_round_cached(&mut self.farm);
                 for (id, cap) in &report.dc_caps {
                     self.last_caps.insert(*id, cap.as_f64());
                 }
                 self.trace
                     .stranded
                     .push((self.time_s, report.stranded_reclaimed.as_f64()));
-                self.last_report = Some(report);
             }
 
             // Physics. One fused sweep steps every server and reads its
@@ -765,7 +904,10 @@ impl Engine {
         self.plane.run_round(&mut self.farm)
     }
 
-    /// Immutable view of everything recorded so far.
+    /// Immutable view of everything recorded so far. The event logs
+    /// (`trips`, `lost_servers`, `stranded`) are live every second; the
+    /// per-series maps are complete at [`Engine::run`] /
+    /// [`Engine::run_observed`] boundaries and after [`Engine::step`].
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
