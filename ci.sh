@@ -22,6 +22,12 @@ cargo run --release -q -p capmaestro-bench --bin chaos -- \
 cargo run --release -q -p capmaestro-bench --bin alloc -- \
     --smoke --out BENCH_alloc_smoke.json
 
+# Observability smoke: 20 instrumented rounds on the Fig. 2 rig, then
+# validate the Prometheus page against the exposition grammar, round-trip
+# the JSON snapshot, and require all six round phases to have been
+# observed; exits non-zero on any failure.
+cargo run --release -q --example observability -- --check
+
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p capmaestro-bench --bin parallel_scale
 fi

@@ -6,13 +6,13 @@
 //! warms the plane's cached `RoundContext`, then times two variants of
 //! the control round:
 //!
-//! - **incremental** — `run_round_cached` reusing the arena round state,
-//!   dirty stamps, and scratch buffers across rounds;
+//! - **incremental** — `ControlPlane::round` reusing the arena round
+//!   state, dirty stamps, and scratch buffers across rounds;
 //! - **full** — `reset_round_cache` before every round, so each round
 //!   rebuilds the context from scratch (the pre-refactor cost model).
 //!
-//! Heap allocations are counted strictly around the `run_round_cached`
-//! call (sampling and farm stepping sit outside the window), so
+//! Heap allocations are counted strictly around the `round` call
+//! (sampling and farm stepping sit outside the window), so
 //! `allocs_per_round` reports what the round itself allocates once warm.
 //! Results go to `BENCH_alloc.json`.
 //!
@@ -24,7 +24,9 @@
 //! `--smoke` runs a short deterministic check instead of the sweep: 60
 //! incremental rounds on the small rig against a twin plane rebuilt
 //! every round, verifying bit-identical caps and zero steady-state
-//! allocations, exiting nonzero on any mismatch.
+//! allocations, exiting nonzero on any mismatch. The smoke then attaches
+//! a live `MetricsRegistry` and proves the instrumented hot path is
+//! *still* allocation-free once the registry is warm.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -32,6 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use capmaestro_bench::{banner, Args};
+use capmaestro_core::obs::{MetricsRegistry, RoundPhase};
 use capmaestro_sim::report::Table;
 use capmaestro_sim::scenarios::{datacenter_rig, DataCenterRigConfig};
 use capmaestro_topology::presets::DataCenterParams;
@@ -110,7 +113,7 @@ fn measure(racks: usize, rpp: usize, cdus: usize, spr: usize, rounds: u32) -> Sa
 
     for _ in 0..WARMUP_ROUNDS {
         plane.record_sample(&farm);
-        plane.run_round_cached(&mut farm);
+        plane.round(&mut farm);
         farm.step_all(Seconds::new(1.0));
     }
 
@@ -121,7 +124,7 @@ fn measure(racks: usize, rpp: usize, cdus: usize, spr: usize, rounds: u32) -> Sa
         plane.record_sample(&farm);
         let before = ALLOCS.load(Ordering::Relaxed);
         let start = Instant::now();
-        plane.run_round_cached(&mut farm);
+        plane.round(&mut farm);
         incremental += start.elapsed();
         allocs += ALLOCS.load(Ordering::Relaxed) - before;
         farm.step_all(Seconds::new(1.0));
@@ -134,7 +137,7 @@ fn measure(racks: usize, rpp: usize, cdus: usize, spr: usize, rounds: u32) -> Sa
         plane.record_sample(&farm);
         let start = Instant::now();
         plane.reset_round_cache();
-        plane.run_round_cached(&mut farm);
+        plane.round(&mut farm);
         full += start.elapsed();
         farm.step_all(Seconds::new(1.0));
     }
@@ -176,9 +179,10 @@ fn render_json(samples: &[Sample]) -> String {
 
 /// Deterministic CI smoke: 60 incremental rounds on the small rig vs a
 /// twin plane whose `RoundContext` is rebuilt every round, checking (a)
-/// bit-identical caps, budgets, and stranded power each round and (b)
-/// zero steady-state allocations inside `run_round_cached`. Returns the
-/// process exit code.
+/// bit-identical caps, budgets, and stranded power each round, (b) zero
+/// steady-state allocations inside `ControlPlane::round`, and (c) zero
+/// allocations per round with a live `MetricsRegistry` attached once its
+/// metric cells are registered. Returns the process exit code.
 fn smoke() -> i32 {
     let config = config_for(8, 2, 2, 16);
     let rig_a = datacenter_rig(&config);
@@ -201,14 +205,14 @@ fn smoke() -> i32 {
         plane_b.record_sample(&farm_b);
 
         let before = ALLOCS.load(Ordering::Relaxed);
-        plane_a.run_round_cached(&mut farm_a);
+        plane_a.round(&mut farm_a);
         let allocs = ALLOCS.load(Ordering::Relaxed) - before;
         if round >= WARMUP_ROUNDS {
             steady_allocs += allocs;
         }
 
         plane_b.reset_round_cache();
-        plane_b.run_round_cached(&mut farm_b);
+        plane_b.round(&mut farm_b);
 
         let report_a = plane_a.last_report().expect("round ran");
         let report_b = plane_b.last_report().expect("round ran");
@@ -246,10 +250,52 @@ fn smoke() -> i32 {
         return 1;
     }
     if steady_allocs > 0 {
-        eprintln!("FAIL: steady-state run_round_cached allocated on the hot path.");
+        eprintln!("FAIL: steady-state rounds allocated on the hot path.");
         return 1;
     }
-    println!("smoke ok: bit-identical and allocation-free once warm.");
+
+    // Phase 2: attach a live registry and prove the *instrumented* hot
+    // path is still allocation-free. The first instrumented rounds
+    // register every metric cell (that allocates, by design); after the
+    // re-warm the registry is append-only and rounds must be clean.
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    plane_a.set_recorder(registry.clone());
+    const INSTRUMENT_WARMUP: u32 = 2;
+    const INSTRUMENT_ROUNDS: u32 = 20;
+    for _ in 0..INSTRUMENT_WARMUP {
+        plane_a.record_sample(&farm_a);
+        plane_a.round(&mut farm_a);
+        farm_a.step_all(Seconds::new(1.0));
+    }
+    let mut instrumented_allocs = 0u64;
+    for _ in 0..INSTRUMENT_ROUNDS {
+        plane_a.record_sample(&farm_a);
+        let before = ALLOCS.load(Ordering::Relaxed);
+        plane_a.round(&mut farm_a);
+        instrumented_allocs += ALLOCS.load(Ordering::Relaxed) - before;
+        farm_a.step_all(Seconds::new(1.0));
+    }
+    println!(
+        "smoke: {instrumented_allocs} heap allocations over \
+         {INSTRUMENT_ROUNDS} registry-instrumented rounds"
+    );
+    if instrumented_allocs > 0 {
+        eprintln!("FAIL: instrumented rounds allocated on the hot path.");
+        return 1;
+    }
+    // Sanity: the registry actually saw the rounds it instrumented.
+    let snap = registry.snapshot();
+    let phases_seen = RoundPhase::ALL.iter().all(|p| {
+        snap.histograms
+            .iter()
+            .any(|h| h.name == p.metric_name() && h.count > 0)
+    });
+    if !phases_seen {
+        eprintln!("FAIL: instrumented rounds did not record all six phases.");
+        return 1;
+    }
+
+    println!("smoke ok: bit-identical and allocation-free once warm, with and without recording.");
     0
 }
 

@@ -20,8 +20,10 @@
 //! invariant was violated, so CI can gate on it.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use capmaestro_bench::{banner, Args};
+use capmaestro_core::obs::{names, MetricsRegistry, MetricsSnapshot};
 use capmaestro_core::plane::RoundReport;
 use capmaestro_sim::audit::{InvariantConfig, InvariantKind, InvariantTracker};
 use capmaestro_sim::engine::Engine;
@@ -45,6 +47,9 @@ struct RunResult {
     servers: usize,
     episodes: usize,
     faults_injected: u64,
+    /// `capmaestro_sim_fault_events_total` from the run's registry: the
+    /// scheduled fault/flap events the engine applied.
+    fault_events: u64,
     violations: Vec<String>,
     /// Server·seconds spent in fail-safe (stale) degradation — non-zero
     /// proves the schedule actually drove the degradation ladder rather
@@ -119,9 +124,15 @@ fn run_one(name: &'static str, rig: Rig, seconds: u64, seed: u64) -> RunResult {
         .flat_map(|&s| [(s, SupplyIndex::FIRST), (s, SupplyIndex::SECOND)])
         .collect();
 
+    // One registry per run observes the engine, the control plane, and
+    // the tracker at once; after the run its counters are cross-checked
+    // against the ground truth the harness already holds.
+    let registry = Arc::new(MetricsRegistry::new());
     let mut engine = Engine::new(rig);
+    engine.plane_mut().set_recorder(registry.clone());
     engine.schedule_chaos(&plan);
-    let mut tracker = InvariantTracker::new(InvariantConfig::default());
+    let mut tracker = InvariantTracker::new(InvariantConfig::default())
+        .with_recorder(registry.clone());
 
     // Baseline: the last control round fully before the first episode.
     let baseline_at = first_start.saturating_sub(8);
@@ -162,20 +173,52 @@ fn run_one(name: &'static str, rig: Rig, seconds: u64, seed: u64) -> RunResult {
         );
     }
 
+    let mut violations: Vec<String> = tracker
+        .violations()
+        .iter()
+        .map(|v| format!("[t={} {:?}] {}", v.second, v.kind, v.detail))
+        .collect();
+
+    // Metrics cross-check: the exported counters must agree with what the
+    // harness observed directly, or the observability layer itself is
+    // broken.
+    let snap = registry.snapshot();
+    let steps = counter(&snap, names::SIM_STEPS_TOTAL);
+    if steps != seconds {
+        violations.push(format!(
+            "[metrics] {} reported {steps} steps, expected {seconds}",
+            names::SIM_STEPS_TOTAL
+        ));
+    }
+    let counted_violations = counter(&snap, names::INVARIANT_VIOLATIONS_TOTAL);
+    if counted_violations != tracker.violations().len() as u64 {
+        violations.push(format!(
+            "[metrics] {} reported {counted_violations} violations, tracker holds {}",
+            names::INVARIANT_VIOLATIONS_TOTAL,
+            tracker.violations().len()
+        ));
+    }
+
     RunResult {
         rig: name,
         seed,
         servers: servers.len(),
         episodes: plan.episodes().len(),
         faults_injected: engine.fault_layer().injected_total(),
-        violations: tracker
-            .violations()
-            .iter()
-            .map(|v| format!("[t={} {:?}] {}", v.second, v.kind, v.detail))
-            .collect(),
+        fault_events: counter(&snap, names::SIM_FAULT_EVENTS_TOTAL),
+        violations,
         stale_server_seconds,
         recovery_s: recovered_at.map(|t| t.saturating_sub(last_end)),
     }
+}
+
+/// Reads one counter from a snapshot (0 when never registered).
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|c| c.name == name)
+        .map(|c| c.value)
+        .unwrap_or(0)
 }
 
 fn fig2_rig() -> Rig {
@@ -216,7 +259,7 @@ fn render_json(seconds: u64, seeds: &[u64], runs: &[RunResult]) -> String {
         let _ = write!(
             out,
             "    {{\"rig\": \"{}\", \"seed\": {}, \"servers\": {}, \
-             \"episodes\": {}, \"faults_injected\": {}, \
+             \"episodes\": {}, \"faults_injected\": {}, \"fault_events\": {}, \
              \"stale_server_seconds\": {}, \"recovery_s\": {}, \
              \"violations\": [{}]}}",
             r.rig,
@@ -224,6 +267,7 @@ fn render_json(seconds: u64, seeds: &[u64], runs: &[RunResult]) -> String {
             r.servers,
             r.episodes,
             r.faults_injected,
+            r.fault_events,
             r.stale_server_seconds,
             recovery,
             violations.join(", ")

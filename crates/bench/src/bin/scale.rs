@@ -5,15 +5,19 @@
 //! room worker. This harness stands up the Table 4 data center (all six
 //! control trees, dual-corded servers) at several sizes and times complete
 //! control rounds through both the synchronous plane and the distributed
-//! deployment.
+//! deployment. A `MetricsRegistry` rides along on both, so each size also
+//! reports the per-phase mean round time and any gather timeouts the
+//! distributed deployment hit.
 //!
 //! ```text
 //! cargo run --release -p capmaestro-bench --bin scale [-- --workers N]
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use capmaestro_bench::{banner, Args};
+use capmaestro_core::obs::{names, MetricsRegistry, RoundPhase};
 use capmaestro_core::policy::PolicyKind;
 use capmaestro_core::workers::{shared_farm, DeploymentConfig, WorkerDeployment};
 use capmaestro_sim::report::Table;
@@ -21,7 +25,17 @@ use capmaestro_sim::scenarios::{datacenter_rig, DataCenterRigConfig};
 use capmaestro_topology::presets::DataCenterParams;
 use capmaestro_units::{Seconds, Watts};
 
-fn rounds_per_config(racks: usize, rpp: usize, cdus: usize, spr: usize, workers: usize) -> (usize, f64, f64) {
+/// One size's measurement.
+struct Sample {
+    servers: usize,
+    sync_ms: f64,
+    dist_ms: f64,
+    /// Mean observed time per round phase, milliseconds, phase order.
+    phase_ms: Vec<(&'static str, f64)>,
+    gather_timeouts: u64,
+}
+
+fn rounds_per_config(racks: usize, rpp: usize, cdus: usize, spr: usize, workers: usize) -> Sample {
     let config = DataCenterRigConfig {
         params: DataCenterParams {
             racks,
@@ -37,15 +51,17 @@ fn rounds_per_config(racks: usize, rpp: usize, cdus: usize, spr: usize, workers:
     };
     let rig = datacenter_rig(&config);
     let servers = rig.farm.len();
+    let registry = Arc::new(MetricsRegistry::new());
 
-    // Synchronous plane.
+    // Synchronous plane, instrumented.
     let mut farm = rig.farm;
     let mut plane = rig.plane;
+    plane.set_recorder(registry.clone());
     plane.record_sample(&farm);
     let start = Instant::now();
     const ROUNDS: u32 = 5;
     for _ in 0..ROUNDS {
-        plane.run_round(&mut farm);
+        plane.round(&mut farm);
         farm.step_all(Seconds::new(1.0));
         plane.record_sample(&farm);
     }
@@ -64,7 +80,7 @@ fn rounds_per_config(racks: usize, rpp: usize, cdus: usize, spr: usize, workers:
         PolicyKind::GlobalPriority,
         shared,
         workers,
-        DeploymentConfig::default(),
+        DeploymentConfig::default().with_recorder(registry.clone()),
     );
     deployment.run_round(0); // warm caches
     let start = Instant::now();
@@ -73,7 +89,33 @@ fn rounds_per_config(racks: usize, rpp: usize, cdus: usize, spr: usize, workers:
     }
     let dist_ms = start.elapsed().as_secs_f64() * 1000.0 / ROUNDS as f64;
     deployment.shutdown();
-    (servers, sync_ms, dist_ms)
+
+    let snap = registry.snapshot();
+    let phase_ms = RoundPhase::ALL
+        .iter()
+        .map(|p| {
+            let mean = snap
+                .histograms
+                .iter()
+                .find(|h| h.name == p.metric_name() && h.count > 0)
+                .map(|h| h.sum / h.count as f64 * 1000.0)
+                .unwrap_or(0.0);
+            (p.label(), mean)
+        })
+        .collect();
+    let gather_timeouts = snap
+        .counters
+        .iter()
+        .find(|c| c.name == names::WORKER_GATHER_TIMEOUTS_TOTAL)
+        .map(|c| c.value)
+        .unwrap_or(0);
+    Sample {
+        servers,
+        sync_ms,
+        dist_ms,
+        phase_ms,
+        gather_timeouts,
+    }
 }
 
 fn main() {
@@ -99,19 +141,37 @@ fn main() {
         "Servers",
         "Sync round (ms)",
         "Distributed round (ms)",
+        "Gather timeouts",
     ]);
+    let mut breakdowns: Vec<(usize, Sample)> = Vec::new();
     for (racks, rpp, cdus, spr) in [(18, 3, 3, 12), (54, 3, 9, 12), (162, 9, 9, 12), (162, 9, 9, 45)] {
-        let (servers, sync_ms, dist_ms) = rounds_per_config(racks, rpp, cdus, spr, workers);
+        let sample = rounds_per_config(racks, rpp, cdus, spr, workers);
         table.row(vec![
             racks.to_string(),
-            servers.to_string(),
-            format!("{sync_ms:.1}"),
-            format!("{dist_ms:.1}"),
+            sample.servers.to_string(),
+            format!("{:.1}", sample.sync_ms),
+            format!("{:.1}", sample.dist_ms),
+            sample.gather_timeouts.to_string(),
         ]);
+        breakdowns.push((racks, sample));
     }
     print!("{}", table.render());
     println!();
+    println!("synchronous per-phase mean (ms):");
+    for (racks, sample) in &breakdowns {
+        let phases: Vec<String> = sample
+            .phase_ms
+            .iter()
+            .map(|(label, ms)| format!("{label} {ms:.2}"))
+            .collect();
+        println!(
+            "  {racks} racks / {} servers: {}",
+            sample.servers,
+            phases.join(", ")
+        );
+    }
+    println!();
     println!("paper budget: rack worker ~10 ms budgeting, room worker <300 ms at 500 racks.");
-    println!("({workers} rack-worker threads; the distributed figure includes sensing,");
-    println!("estimation, metrics, budgeting, and cap enforcement end to end.)");
+    println!("({workers} rack-worker threads on {host_cpus} host CPUs; the distributed figure");
+    println!("includes sensing, estimation, metrics, budgeting, and cap enforcement end to end.)");
 }

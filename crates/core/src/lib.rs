@@ -53,6 +53,7 @@ pub mod budget;
 pub mod capping;
 pub mod estimator;
 pub mod metrics;
+pub mod obs;
 pub mod par;
 pub mod plane;
 pub mod policy;
@@ -64,6 +65,10 @@ pub use budget::{split_budget, BudgetSplit};
 pub use capping::{CappingController, CombinedBudgetController};
 pub use estimator::{DemandEstimator, SampleFate};
 pub use metrics::{LeafInput, MetricEntry, PriorityMetrics};
+pub use obs::{
+    null_recorder, MetricsRegistry, MetricsSnapshot, NullRecorder, PhaseTimer, Recorder,
+    RoundPhase,
+};
 pub use plane::{
     BudgetSource, ControlPlane, Farm, PlaneConfig, RoundReport, StalenessConfig,
 };

@@ -1,0 +1,314 @@
+//! Prometheus text-exposition rendering and a line-grammar validator.
+//!
+//! [`render`] produces exposition format 0.0.4 text: one `# TYPE`
+//! comment per metric family followed by its samples, histograms
+//! expanded into cumulative `_bucket{le=…}` series plus `_sum` and
+//! `_count`. [`validate`] checks that every line of a rendered page
+//! matches the exposition grammar (names, label sets, float values) —
+//! it is what `examples/observability.rs` and the ci.sh smoke gate on.
+
+use std::fmt::Write as _;
+
+use super::registry::MetricsSnapshot;
+use super::ParseError;
+
+/// Split a full metric name into its base name and the inline label
+/// body, e.g. `m{phase="sense"}` → `("m", Some("phase=\"sense\""))`.
+fn split_name(full: &str) -> (&str, Option<&str>) {
+    match full.find('{') {
+        Some(open) if full.ends_with('}') => {
+            (&full[..open], Some(&full[open + 1..full.len() - 1]))
+        }
+        _ => (full, None),
+    }
+}
+
+/// Format a float the way Prometheus expects (`+Inf`/`-Inf`/`NaN` for
+/// the non-finite values, shortest round-trip decimal otherwise).
+fn fmt_value(value: f64) -> String {
+    if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if value.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Append a `# TYPE` line the first time each family is seen. Input
+/// samples are name-sorted, so families are adjacent and one `last`
+/// slot suffices.
+fn type_line<'a>(
+    out: &mut String,
+    last: &mut Option<&'a str>,
+    base: &'a str,
+    kind: &str,
+) {
+    if *last != Some(base) {
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+        *last = Some(base);
+    }
+}
+
+/// Render a snapshot as Prometheus text exposition.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    let mut last: Option<&str> = None;
+    for counter in &snapshot.counters {
+        let (base, _) = split_name(&counter.name);
+        type_line(&mut out, &mut last, base, "counter");
+        let _ = writeln!(out, "{} {}", counter.name, counter.value);
+    }
+
+    let mut last: Option<&str> = None;
+    for gauge in &snapshot.gauges {
+        let (base, _) = split_name(&gauge.name);
+        type_line(&mut out, &mut last, base, "gauge");
+        let _ = writeln!(out, "{} {}", gauge.name, fmt_value(gauge.value));
+    }
+
+    let mut last: Option<&str> = None;
+    for hist in &snapshot.histograms {
+        let (base, labels) = split_name(&hist.name);
+        type_line(&mut out, &mut last, base, "histogram");
+        let prefix = match labels {
+            Some(body) => format!("{body},"),
+            None => String::new(),
+        };
+        for bucket in &hist.buckets {
+            let _ = writeln!(
+                out,
+                "{base}_bucket{{{prefix}le=\"{}\"}} {}",
+                fmt_value(bucket.le),
+                bucket.cumulative
+            );
+        }
+        let _ = writeln!(out, "{base}_bucket{{{prefix}le=\"+Inf\"}} {}", hist.count);
+        let suffix_labels = match labels {
+            Some(body) => format!("{{{body}}}"),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "{base}_sum{suffix_labels} {}", fmt_value(hist.sum));
+        let _ = writeln!(out, "{base}_count{suffix_labels} {}", hist.count);
+    }
+
+    out
+}
+
+/// Whether `name` matches the metric-name regex
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` matches the label-name regex `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Consume a label body `key="value",…` from `rest` up to the closing
+/// `}`; returns the remainder after `}` or a reason string.
+fn scan_labels(rest: &str) -> Result<&str, String> {
+    let mut s = rest;
+    loop {
+        let eq = s.find('=').ok_or("label without '='")?;
+        if !valid_label_name(&s[..eq]) {
+            return Err(format!("bad label name {:?}", &s[..eq]));
+        }
+        s = &s[eq + 1..];
+        if !s.starts_with('"') {
+            return Err("label value not quoted".to_string());
+        }
+        s = &s[1..];
+        // Scan the quoted value, honouring \\ \" \n escapes.
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in s.char_indices() {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(format!("bad escape '\\{c}' in label value"));
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        s = &s[end + 1..];
+        if let Some(after) = s.strip_prefix(',') {
+            s = after;
+        } else if let Some(after) = s.strip_prefix('}') {
+            return Ok(after);
+        } else {
+            return Err("expected ',' or '}' after label".to_string());
+        }
+    }
+}
+
+/// Validate one sample line (`name[{labels}] value [timestamp]`).
+fn validate_sample(line: &str) -> Result<(), String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_ascii_whitespace())
+        .ok_or("missing value")?;
+    if !valid_metric_name(&line[..name_end]) {
+        return Err(format!("bad metric name {:?}", &line[..name_end]));
+    }
+    let mut rest = &line[name_end..];
+    if let Some(body) = rest.strip_prefix('{') {
+        rest = scan_labels(body)?;
+    }
+    let mut parts = rest.split_ascii_whitespace();
+    let value = parts.next().ok_or("missing value")?;
+    let value_ok = matches!(value, "+Inf" | "-Inf" | "NaN")
+        || value.parse::<f64>().is_ok();
+    if !value_ok {
+        return Err(format!("bad sample value {value:?}"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("bad timestamp {ts:?}"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after timestamp".to_string());
+    }
+    Ok(())
+}
+
+/// Validate one `# TYPE name kind` comment.
+fn validate_type_comment(line: &str) -> Result<(), String> {
+    let mut parts = line.split_ascii_whitespace();
+    let name = parts.next().ok_or("missing family name")?;
+    if !valid_metric_name(name) {
+        return Err(format!("bad family name {name:?}"));
+    }
+    let kind = parts.next().ok_or("missing family type")?;
+    if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+        return Err(format!("bad family type {kind:?}"));
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after family type".to_string());
+    }
+    Ok(())
+}
+
+/// Check that every line of `text` matches the Prometheus text
+/// exposition grammar. Returns the number of sample (non-comment,
+/// non-blank) lines, or the first offending line.
+pub fn validate(text: &str) -> Result<usize, ParseError> {
+    let mut samples = 0;
+    for (i, line) in text.lines().enumerate() {
+        let outcome = if line.trim().is_empty() {
+            Ok(())
+        } else if let Some(body) = line.strip_prefix("# TYPE ") {
+            validate_type_comment(body)
+        } else if line.starts_with('#') {
+            // HELP and free-form comments are unconstrained.
+            Ok(())
+        } else {
+            samples += 1;
+            validate_sample(line)
+        };
+        if let Err(reason) = outcome {
+            return Err(ParseError::Exposition {
+                line: i + 1,
+                reason,
+            });
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::registry::MetricsRegistry;
+    use super::super::{RoundPhase, Recorder};
+    use super::*;
+
+    /// A registry with one of each metric kind, including a labelled
+    /// histogram.
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::with_buckets(&[0.001, 0.1]);
+        reg.counter_add("capmaestro_rounds_total", 3);
+        reg.gauge_set("capmaestro_stale_servers", 2.0);
+        reg.observe(RoundPhase::Sense.metric_name(), 0.0005);
+        reg.observe(RoundPhase::Sense.metric_name(), 5.0);
+        reg.observe("plain_hist_seconds", 0.05);
+        reg
+    }
+
+    #[test]
+    fn render_emits_types_buckets_sum_count() {
+        let text = render(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE capmaestro_rounds_total counter"));
+        assert!(text.contains("capmaestro_rounds_total 3"));
+        assert!(text.contains("# TYPE capmaestro_stale_servers gauge"));
+        assert!(text.contains("capmaestro_stale_servers 2"));
+        assert!(text.contains("# TYPE capmaestro_round_phase_seconds histogram"));
+        assert!(text.contains(
+            "capmaestro_round_phase_seconds_bucket{phase=\"sense\",le=\"0.001\"} 1"
+        ));
+        assert!(text.contains(
+            "capmaestro_round_phase_seconds_bucket{phase=\"sense\",le=\"+Inf\"} 2"
+        ));
+        assert!(text.contains("capmaestro_round_phase_seconds_sum{phase=\"sense\"}"));
+        assert!(text.contains("capmaestro_round_phase_seconds_count{phase=\"sense\"} 2"));
+        assert!(text.contains("plain_hist_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("plain_hist_seconds_count 1"));
+    }
+
+    #[test]
+    fn rendered_output_validates() {
+        let text = render(&sample_registry().snapshot());
+        let samples = validate(&text).expect("rendered page must parse");
+        // counter + gauge + 2 histograms × (2 buckets + Inf + sum + count)
+        assert_eq!(samples, 2 + 2 * 5);
+    }
+
+    #[test]
+    fn validate_rejects_bad_lines() {
+        for bad in [
+            "9leading_digit 1",
+            "name{unterminated=\"x} 1",
+            "name{k=\"v\"} not_a_number",
+            "name 1 2 3",
+            "# TYPE name spaceship",
+            "name{2bad=\"v\"} 1",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validate_accepts_escapes_comments_and_timestamps() {
+        let page = "# HELP x free text here\n\
+                    # arbitrary comment\n\
+                    x{l=\"a\\\"b\\\\c\\n\"} +Inf 1700000000\n\
+                    y -12.5\n";
+        assert_eq!(validate(page), Ok(2));
+    }
+
+    #[test]
+    fn non_finite_values_render_prometheus_style() {
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+        assert_eq!(fmt_value(0.25), "0.25");
+    }
+}

@@ -3,7 +3,7 @@
 //! [`ControlPlane`] is the synchronous "integral service": every second it
 //! records sensor samples ([`ControlPlane::record_sample`]), and every
 //! control period (8 s in the paper) it runs one full round
-//! ([`ControlPlane::run_round`]): estimate demands, gather metrics up every
+//! ([`ControlPlane::round`]): estimate demands, gather metrics up every
 //! control tree, allocate budgets down, optionally reclaim stranded power,
 //! and command per-server DC caps through the capping controllers.
 //!
@@ -12,6 +12,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use capmaestro_server::{SensorSnapshot, Server};
 use capmaestro_topology::{FeedId, ServerId, SupplyIndex};
@@ -19,6 +20,7 @@ use capmaestro_units::{Seconds, Watts};
 
 use crate::capping::CappingController;
 use crate::estimator::{DemandEstimator, SampleFate};
+use crate::obs::{names, null_recorder, PhaseTimer, Recorder, RoundPhase};
 use crate::par::{par_for_each_mut, par_map, par_map_mut};
 use crate::policy::{CappingPolicy, PolicyKind};
 use crate::spo::{optimize_stranded_power_in, optimize_stranded_power_par, SpoScratch};
@@ -141,7 +143,22 @@ impl Farm {
 }
 
 /// Configuration of the control plane.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Construct with [`PlaneConfig::default`] and the chained `with_*`
+/// builders (the same idiom as [`StalenessConfig`] and
+/// `DeploymentConfig`):
+///
+/// ```
+/// use capmaestro_core::plane::{PlaneConfig, StalenessConfig};
+/// use capmaestro_core::policy::PolicyKind;
+///
+/// let config = PlaneConfig::default()
+///     .with_policy(PolicyKind::LocalPriority)
+///     .with_spo(false)
+///     .with_staleness(StalenessConfig::default().with_stale_after_rounds(5));
+/// assert!(!config.spo);
+/// ```
+#[derive(Debug, Clone)]
 pub struct PlaneConfig {
     /// The capping policy.
     pub policy: PolicyKind,
@@ -149,6 +166,14 @@ pub struct PlaneConfig {
     pub spo: bool,
     /// The control period (8 s in the paper's deployment).
     pub control_period: Seconds,
+    /// The staleness watchdog knobs, applied at plane construction
+    /// (reconfigure a live plane with [`ControlPlane::set_staleness`]).
+    pub staleness: StalenessConfig,
+    /// Where instrumentation goes (phase timings, counters, gauges).
+    /// Defaults to [`crate::obs::NullRecorder`], which keeps the hot
+    /// path allocation-free and bit-identical; attach a
+    /// [`crate::obs::MetricsRegistry`] to export metrics.
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for PlaneConfig {
@@ -157,7 +182,59 @@ impl Default for PlaneConfig {
             policy: PolicyKind::GlobalPriority,
             spo: true,
             control_period: Seconds::new(8.0),
+            staleness: StalenessConfig::default(),
+            recorder: null_recorder(),
         }
+    }
+}
+
+impl PartialEq for PlaneConfig {
+    /// Recorders are compared by identity (`Arc::ptr_eq`): two configs
+    /// are equal when they would drive the same rounds *and* report to
+    /// the same sink.
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.spo == other.spo
+            && self.control_period == other.control_period
+            && self.staleness == other.staleness
+            && Arc::ptr_eq(&self.recorder, &other.recorder)
+    }
+}
+
+impl PlaneConfig {
+    /// Returns the config with the capping policy replaced.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns the config with stranded-power optimization on or off.
+    #[must_use]
+    pub fn with_spo(mut self, spo: bool) -> Self {
+        self.spo = spo;
+        self
+    }
+
+    /// Returns the config with the control period replaced.
+    #[must_use]
+    pub fn with_control_period(mut self, control_period: Seconds) -> Self {
+        self.control_period = control_period;
+        self
+    }
+
+    /// Returns the config with the staleness watchdog knobs replaced.
+    #[must_use]
+    pub fn with_staleness(mut self, staleness: StalenessConfig) -> Self {
+        self.staleness = staleness;
+        self
+    }
+
+    /// Returns the config with the instrumentation sink replaced.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -192,6 +269,23 @@ impl Default for StalenessConfig {
     }
 }
 
+impl StalenessConfig {
+    /// Returns the config with the stale-declaration threshold replaced.
+    #[must_use]
+    pub fn with_stale_after_rounds(mut self, rounds: u32) -> Self {
+        self.stale_after_rounds = rounds;
+        self
+    }
+
+    /// Returns the config with the fail-safe demand replaced (`None`
+    /// falls back to each server's `Pcap_min`).
+    #[must_use]
+    pub fn with_fail_safe_demand(mut self, demand: Option<Watts>) -> Self {
+        self.fail_safe_demand = demand;
+        self
+    }
+}
+
 /// What one control round decided.
 #[derive(Debug, Clone)]
 pub struct RoundReport {
@@ -201,11 +295,79 @@ pub struct RoundReport {
     pub stranded_reclaimed: Watts,
     /// The DC cap commanded per server.
     pub dc_caps: HashMap<ServerId, Watts>,
+    /// `(server, supply)` → `(tree, slot)` lookup index over
+    /// `allocations`, so [`RoundReport::supply_budget`] is one hash
+    /// probe instead of a linear scan across every tree. First tree
+    /// wins, matching the scan order it replaces.
+    supply_slots: HashMap<(ServerId, SupplyIndex), (u32, u32)>,
+    /// Identity stamps (leaf-index [`Arc`] addresses, stored as plain
+    /// `usize` so the report stays `Send + Sync`) of the allocations the
+    /// index was built from. The allocations hold those `Arc`s alive, so
+    /// a matching stamp means the slot layout is unchanged and the index
+    /// can be reused without rebuilding.
+    index_stamp: Vec<usize>,
 }
 
 impl RoundReport {
+    /// Empty report, ready to be filled by a round.
+    fn empty() -> Self {
+        RoundReport {
+            allocations: Vec::new(),
+            stranded_reclaimed: Watts::ZERO,
+            dc_caps: HashMap::new(),
+            supply_slots: HashMap::new(),
+            index_stamp: Vec::new(),
+        }
+    }
+
+    /// Whether the lookup index matches the current `allocations`.
+    fn index_is_current(&self) -> bool {
+        self.index_stamp.len() == self.allocations.len()
+            && self
+                .allocations
+                .iter()
+                .zip(&self.index_stamp)
+                .all(|(a, &stamp)| a.leaf_index_stamp() == stamp)
+    }
+
+    /// Rebuilds the `(server, supply)` lookup index if the allocations'
+    /// slot layouts changed; a no-op (stamp comparison only, no
+    /// allocation) in the steady state. Called by the round pipeline
+    /// after every allocation pass.
+    fn refresh_supply_index(&mut self) {
+        if self.index_is_current() {
+            return;
+        }
+        self.supply_slots.clear();
+        self.index_stamp.clear();
+        for (tree, allocation) in self.allocations.iter().enumerate() {
+            self.index_stamp.push(allocation.leaf_index_stamp());
+            let index = allocation.leaf_index();
+            for slot in 0..index.len() {
+                let pair = index.pair(slot);
+                self.supply_slots
+                    .entry(pair)
+                    .or_insert((tree as u32, slot as u32));
+            }
+        }
+    }
+
     /// The final budget assigned to a supply, if any tree covers it.
+    ///
+    /// Served from the precomputed `(server, supply)` index when it is
+    /// current (always the case for reports produced by
+    /// [`ControlPlane::round`] and their clones); falls back to the
+    /// original linear scan over `allocations` if a caller has replaced
+    /// the allocation set by hand.
     pub fn supply_budget(&self, server: ServerId, supply: SupplyIndex) -> Option<Watts> {
+        if self.index_is_current() {
+            return self
+                .supply_slots
+                .get(&(server, supply))
+                .map(|&(tree, slot)| {
+                    self.allocations[tree as usize].leaf_budget(slot as usize)
+                });
+        }
         self.allocations
             .iter()
             .find_map(|a| a.supply_budget(server, supply))
@@ -240,7 +402,7 @@ pub enum BudgetSource {
 /// round-pipeline design): the stale-server set, the demand map, resolved
 /// root budgets, the cached capping-policy object, per-tree round states
 /// for the plain allocation path, the SPO scratch, and the round report
-/// itself. [`ControlPlane::run_round_cached`] borrows these instead of
+/// itself. [`ControlPlane::round`] borrows these instead of
 /// allocating, so a steady-state sequential round performs no heap
 /// allocation.
 struct RoundContext {
@@ -258,6 +420,9 @@ struct RoundContext {
     report: RoundReport,
     /// Whether `report` holds a completed round.
     valid: bool,
+    /// Cumulative (summarized, dirty-skipped) gather totals already
+    /// reported to the recorder, so each round reports only its delta.
+    last_gather: (u64, u64),
 }
 
 impl Default for RoundContext {
@@ -271,12 +436,9 @@ impl Default for RoundContext {
             policy: None,
             spo: SpoScratch::new(),
             plain_states: Vec::new(),
-            report: RoundReport {
-                allocations: Vec::new(),
-                stranded_reclaimed: Watts::ZERO,
-                dc_caps: HashMap::new(),
-            },
+            report: RoundReport::empty(),
             valid: false,
+            last_gather: (0, 0),
         }
     }
 }
@@ -385,7 +547,7 @@ fn resolve_root_budgets_into(
 /// }
 /// let mut plane = ControlPlane::new(trees, vec![Watts::new(1240.0)], PlaneConfig::default());
 /// plane.record_sample(&farm);
-/// let report = plane.run_round(&mut farm);
+/// let report = plane.round(&mut farm);
 /// let sa = topo.server_by_name("SA").unwrap();
 /// // The high-priority server is budgeted its full demand.
 /// assert!(report.server_budget(sa) > Watts::new(420.0));
@@ -439,6 +601,10 @@ impl ControlPlane {
     /// Creates a plane with an explicit [`BudgetSource`] — use
     /// [`BudgetSource::SharedPerPhase`] for the paper's contractual-budget
     /// arrangement with automatic failover.
+    /// # Panics
+    ///
+    /// Panics if `config.staleness.stale_after_rounds` is zero (see
+    /// [`ControlPlane::set_staleness`]).
     pub fn with_budget_source(
         trees: Vec<ControlTree>,
         budget_source: BudgetSource,
@@ -451,12 +617,17 @@ impl ControlPlane {
                 "one root budget per control tree is required"
             );
         }
+        assert!(
+            config.staleness.stale_after_rounds >= 1,
+            "stale_after_rounds must be at least 1"
+        );
         let mut static_priorities = HashMap::new();
         for tree in &trees {
             for (_, leaf) in tree.spec().leaves() {
                 static_priorities.insert(leaf.server, leaf.priority);
             }
         }
+        let staleness = config.staleness;
         ControlPlane {
             trees,
             budget_source,
@@ -466,7 +637,7 @@ impl ControlPlane {
             priority_overrides: HashMap::new(),
             parked: Vec::new(),
             static_priorities,
-            staleness: StalenessConfig::default(),
+            staleness,
             telemetry: HashMap::new(),
             fresh: HashSet::new(),
             stale_rounds: HashMap::new(),
@@ -487,11 +658,24 @@ impl ControlPlane {
             "stale_after_rounds must be at least 1"
         );
         self.staleness = config;
+        self.config.staleness = config;
     }
 
     /// The staleness watchdog configuration.
     pub fn staleness(&self) -> StalenessConfig {
         self.staleness
+    }
+
+    /// Replaces the instrumentation sink (e.g. attaching a
+    /// [`crate::obs::MetricsRegistry`] to a plane built with the default
+    /// [`crate::obs::NullRecorder`]).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.config.recorder = recorder;
+    }
+
+    /// The instrumentation sink rounds report to.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.config.recorder
     }
 
     /// Servers currently declared stale (no plausible telemetry for at
@@ -672,6 +856,8 @@ impl ControlPlane {
     /// discarded and do **not** count as a telemetry refresh, so a sensor
     /// returning garbage degrades exactly like a silent one.
     pub fn record_snapshots(&mut self, farm: &Farm, snaps: &[(ServerId, SensorSnapshot)]) {
+        let recorder = Arc::clone(&self.config.recorder);
+        let _sense_timer = PhaseTimer::start(&*recorder, RoundPhase::Sense.metric_name());
         let threads = farm.parallelism();
         // The estimator updates are independent per server, so when the
         // farm is configured multi-threaded and the batch is in strict id
@@ -747,18 +933,21 @@ impl ControlPlane {
             .unwrap_or(fallback)
     }
 
-    /// Runs one control round: estimate → gather → allocate (→ SPO) →
-    /// enforce. Returns what was decided.
-    ///
-    /// The per-server phases (demand estimation, leaf-input refresh,
-    /// sensing for enforcement) and the per-tree allocation fan out across
-    /// the farm's configured thread count ([`Farm::set_parallelism`]).
-    /// Every cross-item combination step — the budget split inside each
-    /// tree, the SPO pass, and the stateful capping-controller updates —
-    /// runs sequentially in deterministic order, so the round's decisions
-    /// are bit-identical for every thread count.
+    /// Deprecated alias for [`ControlPlane::round`] that clones the
+    /// report. Migrate to `plane.round(farm)` (and `.clone()` only where
+    /// an owned report is genuinely needed).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ControlPlane::round`, which returns `&RoundReport`"
+    )]
     pub fn run_round(&mut self, farm: &mut Farm) -> RoundReport {
-        self.run_round_cached(farm).clone()
+        self.round(farm).clone()
+    }
+
+    /// Deprecated former name of [`ControlPlane::round`].
+    #[deprecated(since = "0.1.0", note = "renamed to `ControlPlane::round`")]
+    pub fn run_round_cached(&mut self, farm: &mut Farm) -> &RoundReport {
+        self.round(farm)
     }
 
     /// The report of the last completed round, if any round has run since
@@ -779,17 +968,36 @@ impl ControlPlane {
         self.ctx = RoundContext::default();
     }
 
-    /// [`ControlPlane::run_round`], but writing the decisions into the
-    /// plane-owned [`RoundReport`] instead of returning a fresh one — the
-    /// hot-path entry point. In the sequential case (farm parallelism 1) a
-    /// steady-state round performs **no heap allocation**: demand and
-    /// stale maps, root budgets, the policy object, per-tree gather states
-    /// (reused incrementally — only subtrees with a dirtied leaf are
+    /// Runs one control round — estimate → gather → allocate (→ SPO) →
+    /// enforce — writing the decisions into the plane-owned
+    /// [`RoundReport`] and returning it (cached semantics: the report is
+    /// also available afterwards via [`ControlPlane::last_report`]).
+    ///
+    /// In the sequential case (farm parallelism 1) a steady-state round
+    /// performs **no heap allocation**: demand and stale maps, root
+    /// budgets, the policy object, per-tree gather states (reused
+    /// incrementally — only subtrees with a dirtied leaf are
     /// re-summarized), SPO routes/overlays, and the report buffers all
-    /// live in the plane's round context. Multi-threaded farms keep the
-    /// fan-out paths and remain bit-identical to the sequential round.
-    pub fn run_round_cached(&mut self, farm: &mut Farm) -> &RoundReport {
+    /// live in the plane's round context. The per-server phases and the
+    /// per-tree allocation fan out across the farm's configured thread
+    /// count ([`Farm::set_parallelism`]); every cross-item combination
+    /// step runs sequentially in deterministic order, so the round's
+    /// decisions are bit-identical for every thread count.
+    ///
+    /// When a [`Recorder`] is attached ([`PlaneConfig::with_recorder`] /
+    /// [`ControlPlane::set_recorder`]), the round reports per-phase wall
+    /// times, the stale-server gauge, fail-safe cap enforcements, the
+    /// stranded-watts-reclaimed gauge, and the gather dirty-tracking
+    /// counters. With the default [`crate::obs::NullRecorder`] none of
+    /// that is computed and the round is bit-identical to an
+    /// uninstrumented one.
+    pub fn round(&mut self, farm: &mut Farm) -> &RoundReport {
         let threads = farm.parallelism();
+        let recorder = Arc::clone(&self.config.recorder);
+        let recorder: &dyn Recorder = &*recorder;
+        recorder.counter_add(names::ROUNDS_TOTAL, 1);
+        let estimate_timer =
+            PhaseTimer::start(recorder, RoundPhase::Estimate.metric_name());
 
         // 0. Staleness bookkeeping: servers that delivered a plausible
         //    reading since the last round reset their counter; the rest
@@ -867,6 +1075,11 @@ impl ControlPlane {
             });
             self.ctx.demands.extend(computed);
         }
+        drop(estimate_timer);
+        if recorder.enabled() {
+            recorder.gauge_set(names::STALE_SERVERS, self.ctx.stale.len() as f64);
+        }
+        let gather_timer = PhaseTimer::start(recorder, RoundPhase::Gather.metric_name());
         {
             let overrides = &self.priority_overrides;
             let statics = &self.static_priorities;
@@ -906,6 +1119,7 @@ impl ControlPlane {
                 par_for_each_mut(&mut self.trees, threads, refresh);
             }
         }
+        drop(gather_timer);
 
         // 2. Allocate (with or without the stranded-power pass). The trees
         //    are independent within each allocation pass, so both the
@@ -924,6 +1138,7 @@ impl ControlPlane {
             plain_states,
             report,
             valid,
+            last_gather,
             ..
         } = &mut self.ctx;
         resolve_root_budgets_into(
@@ -945,43 +1160,86 @@ impl ControlPlane {
                     policy_dyn,
                     spo,
                     &mut report.allocations,
+                    recorder,
                 )
             } else {
+                // The fused parallel SPO does both passes in one sweep;
+                // the whole sweep is attributed to the SPO span.
+                let spo_timer =
+                    PhaseTimer::start(recorder, RoundPhase::Spo.metric_name());
                 let outcome =
                     optimize_stranded_power_par(trees, root_budgets, policy_dyn, threads);
+                drop(spo_timer);
+                recorder.observe(RoundPhase::Allocate.metric_name(), 0.0);
                 let total = outcome.total_stranded();
                 report.allocations = outcome.second;
                 total
             }
-        } else if threads <= 1 {
-            let n = trees.len();
-            if plain_states.len() != n {
-                plain_states.clear();
-                plain_states.resize_with(n, TreeRoundState::new);
-            }
-            if report.allocations.len() != n {
-                report.allocations.clear();
-                report.allocations.resize_with(n, Allocation::default);
-            }
-            for i in 0..n {
-                trees[i].allocate_in(
-                    root_budgets[i],
-                    policy_dyn,
-                    &mut plain_states[i],
-                    None,
-                    &mut report.allocations[i],
-                );
-            }
-            Watts::ZERO
         } else {
-            let pairs: Vec<(&ControlTree, Watts)> = trees
-                .iter()
-                .zip(root_budgets.iter().copied())
-                .collect();
-            report.allocations =
-                par_map(&pairs, threads, |&(t, b)| t.allocate(b, policy_dyn));
+            let allocate_timer =
+                PhaseTimer::start(recorder, RoundPhase::Allocate.metric_name());
+            if threads <= 1 {
+                let n = trees.len();
+                if plain_states.len() != n {
+                    plain_states.clear();
+                    plain_states.resize_with(n, TreeRoundState::new);
+                }
+                if report.allocations.len() != n {
+                    report.allocations.clear();
+                    report.allocations.resize_with(n, Allocation::default);
+                }
+                for i in 0..n {
+                    trees[i].allocate_in(
+                        root_budgets[i],
+                        policy_dyn,
+                        &mut plain_states[i],
+                        None,
+                        &mut report.allocations[i],
+                    );
+                }
+            } else {
+                let pairs: Vec<(&ControlTree, Watts)> = trees
+                    .iter()
+                    .zip(root_budgets.iter().copied())
+                    .collect();
+                report.allocations =
+                    par_map(&pairs, threads, |&(t, b)| t.allocate(b, policy_dyn));
+            }
+            drop(allocate_timer);
+            // SPO is off: record an explicit zero so the phase series
+            // exists (and shows as idle) on every configuration.
+            recorder.observe(RoundPhase::Spo.metric_name(), 0.0);
             Watts::ZERO
         };
+        if recorder.enabled() {
+            recorder.gauge_set(
+                names::STRANDED_WATTS_RECLAIMED,
+                report.stranded_reclaimed.as_f64(),
+            );
+            // Dirty-tracking effectiveness: how many tree nodes the
+            // incremental gather actually re-summarized vs skipped. The
+            // states accumulate across rounds, so report deltas. (The
+            // parallel paths rebuild allocations from scratch and keep no
+            // gather state; their totals simply stay flat.)
+            let (summarized, skipped) = if self.config.spo {
+                spo.gather_stats()
+            } else {
+                plain_states.iter().fold((0, 0), |acc, state| {
+                    let (s, k) = state.gather_stats();
+                    (acc.0 + s, acc.1 + k)
+                })
+            };
+            recorder.counter_add(
+                names::TREE_NODES_SUMMARIZED_TOTAL,
+                summarized.saturating_sub(last_gather.0),
+            );
+            recorder.counter_add(
+                names::TREE_NODES_DIRTY_SKIPPED_TOTAL,
+                skipped.saturating_sub(last_gather.1),
+            );
+            *last_gather = (summarized, skipped);
+        }
+        report.refresh_supply_index();
 
         // 3. Enforce: pair every server's working supplies' budgets with
         //    its last *delivered* telemetry (never a direct sensor read —
@@ -989,9 +1247,25 @@ impl ControlPlane {
         //    capping controllers sequentially in id order. Stale servers
         //    bypass their feedback controller entirely: their cap is
         //    clamped straight to the fail-safe demand.
-        report.dc_caps.clear();
+        let enforce_timer = PhaseTimer::start(recorder, RoundPhase::Enforce.metric_name());
+        let mut failsafe_caps: u64 = 0;
+        let RoundReport {
+            allocations,
+            dc_caps,
+            supply_slots,
+            ..
+        } = report;
+        let allocations = &*allocations;
+        let supply_slots = &*supply_slots;
+        // One hash probe per (server, supply) instead of a linear scan
+        // across every tree's allocation (the index was refreshed above).
+        let budget_for = |id: ServerId, supply: SupplyIndex| {
+            supply_slots
+                .get(&(id, supply))
+                .map(|&(tree, slot)| allocations[tree as usize].leaf_budget(slot as usize))
+        };
+        dc_caps.clear();
         if threads <= 1 {
-            let allocations = &report.allocations;
             for (id, server) in farm.iter_mut() {
                 let model = server.config().model();
                 if stale.contains(&id) {
@@ -1004,7 +1278,8 @@ impl ControlPlane {
                     });
                     let cap = controller.force_dc_cap(demand_ac * efficiency);
                     server.set_dc_cap(cap);
-                    report.dc_caps.insert(id, cap);
+                    dc_caps.insert(id, cap);
+                    failsafe_caps += 1;
                     continue;
                 }
                 // Count the working supplies an allocation covers; servers
@@ -1015,11 +1290,7 @@ impl ControlPlane {
                     if share.as_f64() <= 0.0 {
                         continue;
                     }
-                    let supply = SupplyIndex(idx as u8);
-                    if allocations
-                        .iter()
-                        .any(|a| a.supply_budget(id, supply).is_some())
-                    {
+                    if supply_slots.contains_key(&(id, SupplyIndex(idx as u8))) {
                         covered += 1;
                     }
                 }
@@ -1047,21 +1318,17 @@ impl ControlPlane {
                             if share.as_f64() <= 0.0 {
                                 return None;
                             }
-                            let supply = SupplyIndex(idx as u8);
-                            allocations
-                                .iter()
-                                .find_map(|a| a.supply_budget(id, supply))
+                            budget_for(id, SupplyIndex(idx as u8))
                                 .map(|b| (b, snap.supply_ac[idx]))
                         }),
                 );
                 server.set_dc_cap(cap);
-                report.dc_caps.insert(id, cap);
+                dc_caps.insert(id, cap);
             }
         } else {
             let entries: Vec<(ServerId, &Server)> = farm.iter().collect();
             let telemetry = &self.telemetry;
             let stale_ref = &*stale;
-            let allocations_ref = &report.allocations;
             let sensed: Vec<Option<(Vec<Watts>, Vec<Watts>)>> =
                 par_map(&entries, threads, |&(id, server)| {
                     if stale_ref.contains(&id) {
@@ -1078,11 +1345,7 @@ impl ControlPlane {
                         if share.as_f64() <= 0.0 {
                             continue;
                         }
-                        let supply = SupplyIndex(idx as u8);
-                        if let Some(b) = allocations_ref
-                            .iter()
-                            .find_map(|a| a.supply_budget(id, supply))
-                        {
+                        if let Some(b) = budget_for(id, SupplyIndex(idx as u8)) {
                             budgets.push(b);
                             measured.push(snap.supply_ac[idx]);
                         }
@@ -1106,7 +1369,8 @@ impl ControlPlane {
                     });
                     let cap = controller.force_dc_cap(demand_ac * efficiency);
                     server.set_dc_cap(cap);
-                    report.dc_caps.insert(id, cap);
+                    dc_caps.insert(id, cap);
+                    failsafe_caps += 1;
                     continue;
                 }
                 let Some((budgets, measured)) = work else {
@@ -1121,8 +1385,12 @@ impl ControlPlane {
                 });
                 let cap = controller.update(&budgets, &measured);
                 server.set_dc_cap(cap);
-                report.dc_caps.insert(id, cap);
+                dc_caps.insert(id, cap);
             }
+        }
+        drop(enforce_timer);
+        if failsafe_caps > 0 || recorder.enabled() {
+            recorder.counter_add(names::FAILSAFE_CAPS_TOTAL, failsafe_caps);
         }
 
         *valid = true;
@@ -1155,11 +1423,7 @@ mod tests {
         let plane = ControlPlane::new(
             trees,
             vec![Watts::new(1240.0)],
-            PlaneConfig {
-                policy,
-                spo: false,
-                control_period: Seconds::new(8.0),
-            },
+            PlaneConfig::default().with_policy(policy).with_spo(false),
         );
         (topo, farm, plane)
     }
@@ -1171,8 +1435,34 @@ mod tests {
                 plane.record_sample(farm);
                 farm.step_all(Seconds::new(1.0));
             }
-            plane.run_round(farm);
+            plane.round(farm);
         }
+    }
+
+    /// The deprecated `run_round`/`run_round_cached` aliases must keep
+    /// delegating to [`ControlPlane::round`] bit for bit until removal.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_round_aliases_delegate_to_round() {
+        let (_, mut farm_a, mut plane_a) = fig2_plane(PolicyKind::GlobalPriority);
+        let (_, mut farm_b, mut plane_b) = fig2_plane(PolicyKind::GlobalPriority);
+        for _ in 0..8 {
+            plane_a.record_sample(&farm_a);
+            plane_b.record_sample(&farm_b);
+            farm_a.step_all(Seconds::new(1.0));
+            farm_b.step_all(Seconds::new(1.0));
+        }
+        let owned = plane_a.run_round(&mut farm_a);
+        let cached = plane_b.run_round_cached(&mut farm_b).clone();
+        assert_eq!(owned.dc_caps.len(), cached.dc_caps.len());
+        for (id, cap) in &owned.dc_caps {
+            let other = cached.dc_caps[id];
+            assert_eq!(cap.as_f64().to_bits(), other.as_f64().to_bits(), "{id:?}");
+        }
+        assert_eq!(
+            owned.stranded_reclaimed.as_f64().to_bits(),
+            cached.stranded_reclaimed.as_f64().to_bits()
+        );
     }
 
     #[test]
@@ -1242,12 +1532,82 @@ mod tests {
     fn round_report_exposes_budgets() {
         let (topo, mut farm, mut plane) = fig2_plane(PolicyKind::GlobalPriority);
         plane.record_sample(&farm);
-        let report = plane.run_round(&mut farm);
+        let report = plane.round(&mut farm).clone();
         let sa = topo.server_by_name("SA").unwrap();
         assert!(report.supply_budget(sa, SupplyIndex::FIRST).is_some());
         assert!(report.server_budget(sa) > Watts::ZERO);
         assert_eq!(report.dc_caps.len(), 4);
         assert_eq!(report.stranded_reclaimed, Watts::ZERO); // SPO off
+    }
+
+    #[test]
+    fn supply_budget_index_matches_linear_scan_across_trees() {
+        // Fig. 7a rig: two trees with SC/SD present in BOTH (dual-corded),
+        // so the precomputed index must reproduce the first-tree-wins
+        // semantics of the linear scan it replaced — including after a
+        // feed failure reshapes the tree set and forces a rebuild.
+        let topo = figure7a_rig();
+        let trees: Vec<ControlTree> = topo
+            .control_tree_specs()
+            .into_iter()
+            .map(ControlTree::new)
+            .collect();
+        let mut farm = Farm::new();
+        for (id, info) in topo.servers() {
+            let bank = match info.name() {
+                "SA" | "SB" => capmaestro_server::PsuBank::balanced(1, Ratio::new(0.94)),
+                _ => capmaestro_server::PsuBank::dual(0.5, Ratio::new(0.94)),
+            };
+            let mut server = Server::new(ServerConfig::paper_default().with_bank(bank));
+            server.set_offered_demand(Watts::new(420.0));
+            server.settle();
+            farm.insert(id, server);
+        }
+        let servers: Vec<ServerId> = farm.iter().map(|(id, _)| id).collect();
+        let mut plane = ControlPlane::new(
+            trees,
+            vec![Watts::new(700.0), Watts::new(700.0)],
+            PlaneConfig::default().with_spo(true),
+        );
+
+        let check = |report: &RoundReport, servers: &[ServerId], when: &str| {
+            assert!(report.index_is_current(), "{when}: index should be fresh");
+            let mut covered = 0usize;
+            for &server in servers {
+                for supply in [SupplyIndex::FIRST, SupplyIndex::SECOND] {
+                    let indexed = report.supply_budget(server, supply);
+                    let scanned = report
+                        .allocations
+                        .iter()
+                        .find_map(|a| a.supply_budget(server, supply));
+                    assert_eq!(
+                        indexed.map(|w| w.as_f64().to_bits()),
+                        scanned.map(|w| w.as_f64().to_bits()),
+                        "{when}: {server} {supply:?}"
+                    );
+                    covered += usize::from(indexed.is_some());
+                }
+            }
+            assert!(covered > 0, "{when}: rig should cover some supplies");
+        };
+
+        plane.record_sample(&farm);
+        let report = plane.round(&mut farm).clone();
+        check(&report, &servers, "initial round");
+
+        // Feed failure drops a tree: slot layouts change and the cloned
+        // report's index must rebuild rather than serve stale slots.
+        plane.fail_feed(FeedId::B);
+        plane.set_root_budgets(vec![Watts::new(1400.0)]);
+        for (_, server) in farm.iter_mut() {
+            let bank = server.bank_mut();
+            if bank.len() == 2 {
+                bank.fail_supply(1);
+            }
+        }
+        plane.record_sample(&farm);
+        let report = plane.round(&mut farm).clone();
+        check(&report, &servers, "post-failover round");
     }
 
     #[test]
@@ -1295,14 +1655,12 @@ mod tests {
         let mut plane = ControlPlane::with_budget_source(
             trees,
             BudgetSource::SharedPerPhase(Watts::new(1400.0)),
-            PlaneConfig {
-                policy: PolicyKind::GlobalPriority,
-                spo: false,
-                control_period: Seconds::new(8.0),
-            },
+            PlaneConfig::default()
+                .with_policy(PolicyKind::GlobalPriority)
+                .with_spo(false),
         );
         plane.record_sample(&farm);
-        let report = plane.run_round(&mut farm);
+        let report = plane.round(&mut farm).clone();
         // Both feeds' allocations together must not exceed the shared
         // phase budget.
         let total: Watts = report
@@ -1324,7 +1682,7 @@ mod tests {
             }
         }
         plane.record_sample(&farm);
-        let report = plane.run_round(&mut farm);
+        let report = plane.round(&mut farm).clone();
         let total_after: Watts = report
             .allocations
             .iter()
@@ -1356,7 +1714,7 @@ mod tests {
                 plane.record_snapshots(farm, &snaps);
                 farm.step_all(Seconds::new(1.0));
             }
-            plane.run_round(farm);
+            plane.round(farm);
         }
     }
 
@@ -1429,7 +1787,7 @@ mod tests {
                 plane.record_snapshots(&farm, &snaps);
                 farm.step_all(Seconds::new(1.0));
             }
-            plane.run_round(&mut farm);
+            plane.round(&mut farm);
         }
         assert!(
             plane.is_stale(sb),
@@ -1441,10 +1799,11 @@ mod tests {
     fn fail_safe_demand_is_configurable() {
         let (topo, mut farm, mut plane) = fig2_plane(PolicyKind::GlobalPriority);
         let sb = topo.server_by_name("SB").unwrap();
-        plane.set_staleness(StalenessConfig {
-            stale_after_rounds: 1,
-            fail_safe_demand: Some(Watts::new(300.0)),
-        });
+        plane.set_staleness(
+            StalenessConfig::default()
+                .with_stale_after_rounds(1)
+                .with_fail_safe_demand(Some(Watts::new(300.0))),
+        );
         run_periods(&mut plane, &mut farm, 2);
         run_periods_with_dropped(&mut plane, &mut farm, 2, &[sb]);
         assert!(plane.is_stale(sb));

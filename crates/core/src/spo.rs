@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use capmaestro_topology::{ServerId, SupplyIndex};
 use capmaestro_units::Watts;
 
+use crate::obs::{PhaseTimer, Recorder, RoundPhase};
 use crate::par::{par_for_each_mut, par_map};
 use crate::policy::CappingPolicy;
 use crate::tree::{Allocation, ControlTree, SupplyInput, TreeRoundState};
@@ -370,6 +371,16 @@ impl SpoScratch {
         }
     }
 
+    /// Cumulative `(summarized, dirty_skipped)` gather counts summed over
+    /// both passes' round states.
+    pub fn gather_stats(&self) -> (u64, u64) {
+        self.states1
+            .iter()
+            .chain(&self.states2)
+            .map(TreeRoundState::gather_stats)
+            .fold((0, 0), |(s, k), (ds, dk)| (s + ds, k + dk))
+    }
+
     fn rebuild_routes(&mut self, trees: &[ControlTree]) {
         self.routes.clear();
         self.overlays.clear();
@@ -423,6 +434,7 @@ pub fn optimize_stranded_power_in(
     policy: &dyn CappingPolicy,
     scratch: &mut SpoScratch,
     second: &mut Vec<Allocation>,
+    recorder: &dyn Recorder,
 ) -> Watts {
     assert_eq!(
         trees.len(),
@@ -446,7 +458,10 @@ pub fn optimize_stranded_power_in(
         second.resize_with(n, Allocation::default);
     }
 
-    // Pass 1: plain allocation (incremental per tree).
+    // Pass 1: plain allocation (incremental per tree). Attributed to the
+    // Allocate phase; strand detection and pass 2 below are the Spo phase.
+    let allocate_timer =
+        PhaseTimer::start(recorder, RoundPhase::Allocate.metric_name());
     for i in 0..n {
         trees[i].allocate_in(
             root_budgets[i],
@@ -456,6 +471,8 @@ pub fn optimize_stranded_power_in(
             &mut scratch.first[i],
         );
     }
+    drop(allocate_timer);
+    let spo_timer = PhaseTimer::start(recorder, RoundPhase::Spo.metric_name());
 
     // Strand detection over the precomputed routes — the same max/min/mul
     // operations as `detect_strands`, so the results are bit-identical.
@@ -528,6 +545,7 @@ pub fn optimize_stranded_power_in(
             &mut second[i],
         );
     }
+    drop(spo_timer);
     total
 }
 
@@ -815,8 +833,14 @@ mod tests {
                 }
             }
             let expected = optimize_stranded_power(&trees, budgets, &policy);
-            let total =
-                optimize_stranded_power_in(&trees, budgets, &policy, &mut scratch, &mut second);
+            let total = optimize_stranded_power_in(
+                &trees,
+                budgets,
+                &policy,
+                &mut scratch,
+                &mut second,
+                &crate::obs::NullRecorder,
+            );
             assert_eq!(second, expected.second, "round {round} allocations differ");
             assert_eq!(
                 total.as_f64().to_bits(),

@@ -261,6 +261,13 @@ impl Allocation {
         self.unallocated
     }
 
+    /// Opaque identity of the leaf index backing this allocation, used by
+    /// `RoundReport` to detect when its precomputed supply-slot map went
+    /// stale. Stable for as long as the allocation holds the index alive.
+    pub(crate) fn leaf_index_stamp(&self) -> usize {
+        Arc::as_ptr(&self.leaf_index) as usize
+    }
+
     /// Total budget across all leaves.
     ///
     /// Summed in `(server, supply)` order so the result is independent of
@@ -290,6 +297,10 @@ pub struct TreeRoundState {
     children_scratch: Vec<PriorityMetrics>,
     split_scratch: SplitScratch,
     split_budgets: Vec<Watts>,
+    /// Cumulative count of nodes whose summary was recomputed (dirty).
+    summarized: u64,
+    /// Cumulative count of nodes whose cached summary was reused.
+    skipped: u64,
 }
 
 impl TreeRoundState {
@@ -303,6 +314,14 @@ impl TreeRoundState {
     /// the full-recompute benchmark mode).
     pub fn invalidate(&mut self) {
         self.valid = false;
+    }
+
+    /// Cumulative `(summarized, dirty_skipped)` node counts across every
+    /// gather pass this state has served. The control plane turns these
+    /// into per-round deltas for the
+    /// `capmaestro_tree_nodes_{summarized,dirty_skipped}_total` counters.
+    pub fn gather_stats(&self) -> (u64, u64) {
+        (self.summarized, self.skipped)
     }
 }
 
@@ -566,6 +585,7 @@ impl ControlTree {
                     || state.last_leaves[idx] != current;
                 state.dirty[idx] = dirty;
                 if dirty {
+                    state.summarized += 1;
                     let (input, priority) = current.unwrap_or_else(|| {
                         panic!(
                             "leaf {idx} ({}) has no supply input set",
@@ -583,6 +603,8 @@ impl ControlTree {
                         &mut state.metrics[idx],
                     );
                     state.last_leaves[idx] = current;
+                } else {
+                    state.skipped += 1;
                 }
                 state.seen_gens[idx] = self.generations[idx];
             } else {
@@ -591,6 +613,7 @@ impl ControlTree {
                     !state.valid || children.iter().any(|&c| state.dirty[c as usize]);
                 state.dirty[idx] = dirty;
                 if dirty {
+                    state.summarized += 1;
                     let blind = matches!(
                         policy.visibility(self.arena.context(idx)),
                         PriorityVisibility::Blind
@@ -605,6 +628,8 @@ impl ControlTree {
                         blind,
                         &mut head[idx],
                     );
+                } else {
+                    state.skipped += 1;
                 }
             }
         }

@@ -30,6 +30,7 @@ use crate::budget::{split_budget, split_budget_into, SplitScratch};
 use crate::capping::CappingController;
 use crate::estimator::DemandEstimator;
 use crate::metrics::{LeafInput, PriorityMetrics};
+use crate::obs::{names, null_recorder, Recorder};
 use crate::policy::{CappingPolicy, NodeContext, PolicyKind, PriorityVisibility};
 use crate::tree::ControlTree;
 
@@ -39,7 +40,7 @@ pub type CutId = (usize, usize);
 /// Tunables of the distributed deployment, passed to
 /// [`WorkerDeployment::spawn`]. Real deployments tune these against their
 /// control period; tests shrink them to keep fault scenarios fast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct DeploymentConfig {
     /// How long the room worker waits for rack metrics each round before
     /// budgeting from stale data.
@@ -53,6 +54,13 @@ pub struct DeploymentConfig {
     /// fail-safe metrics (every leaf at its `cap_min`) instead. Rounds
     /// 1..N are the stale-hold bridge.
     pub stale_after_rounds: u64,
+    /// Where the deployment reports its respawn / gather-timeout counters
+    /// and fail-safe-cut gauge. Defaults to [`NullRecorder`]
+    /// (no-op); attach a [`MetricsRegistry`] to export.
+    ///
+    /// [`NullRecorder`]: crate::obs::NullRecorder
+    /// [`MetricsRegistry`]: crate::obs::MetricsRegistry
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for DeploymentConfig {
@@ -61,7 +69,47 @@ impl Default for DeploymentConfig {
             gather_timeout: Duration::from_millis(500),
             respawn_backoff: Duration::from_millis(500),
             stale_after_rounds: 3,
+            recorder: null_recorder(),
         }
+    }
+}
+
+impl PartialEq for DeploymentConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.gather_timeout == other.gather_timeout
+            && self.respawn_backoff == other.respawn_backoff
+            && self.stale_after_rounds == other.stale_after_rounds
+            && Arc::ptr_eq(&self.recorder, &other.recorder)
+    }
+}
+
+impl DeploymentConfig {
+    /// Returns the config with the gather timeout replaced.
+    #[must_use]
+    pub fn with_gather_timeout(mut self, timeout: Duration) -> Self {
+        self.gather_timeout = timeout;
+        self
+    }
+
+    /// Returns the config with the respawn backoff base replaced.
+    #[must_use]
+    pub fn with_respawn_backoff(mut self, backoff: Duration) -> Self {
+        self.respawn_backoff = backoff;
+        self
+    }
+
+    /// Returns the config with the stale-hold round budget replaced.
+    #[must_use]
+    pub fn with_stale_after_rounds(mut self, rounds: u64) -> Self {
+        self.stale_after_rounds = rounds;
+        self
+    }
+
+    /// Returns the config with the metrics recorder replaced.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -248,8 +296,8 @@ impl WorkerDeployment {
     }
 
     /// The deployment's configuration.
-    pub fn config(&self) -> DeploymentConfig {
-        self.config
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.config
     }
 
     /// Number of rack workers.
@@ -322,6 +370,11 @@ impl WorkerDeployment {
                 Err(_) => break, // timeout or all senders dropped
             }
         }
+        if answers < expected {
+            self.config
+                .recorder
+                .counter_add(names::WORKER_GATHER_TIMEOUTS_TOTAL, 1);
+        }
 
         // Phase 2: the room worker allocates over each tree's upper part,
         // treating cut nodes as pseudo-leaves with the freshest metrics it
@@ -366,6 +419,7 @@ impl WorkerDeployment {
     fn effective_cut_metrics(&self, round: u64) -> HashMap<CutId, PriorityMetrics> {
         let policy = self.policy.policy();
         let mut out = HashMap::new();
+        let mut failsafe_cuts: u64 = 0;
         let mut farm_guard: Option<std::sync::RwLockReadGuard<'_, crate::plane::Farm>> =
             None;
         for assignment in &self.assignments {
@@ -382,6 +436,7 @@ impl WorkerDeployment {
                 }
                 // Fail-safe: rebuild the cut's metrics from the topology
                 // and PSU state alone, demanding only cap_min per leaf.
+                failsafe_cuts += 1;
                 let farm = farm_guard.get_or_insert_with(|| self.farm.read());
                 let (t, cut_idx) = *cut;
                 let spec = self.trees[t].spec();
@@ -420,6 +475,11 @@ impl WorkerDeployment {
                     PriorityMetrics::aggregate(children.iter(), spec.node(cut_idx).limit),
                 );
             }
+        }
+        if self.config.recorder.enabled() {
+            self.config
+                .recorder
+                .gauge_set(names::WORKER_FAILSAFE_CUTS, failsafe_cuts as f64);
         }
         out
     }
@@ -467,6 +527,9 @@ impl WorkerDeployment {
                 .expect("spawning a rack worker thread"),
         );
         self.to_workers[worker] = Some(down_tx);
+        self.config
+            .recorder
+            .counter_add(names::WORKER_RESPAWNS_TOTAL, 1);
         true
     }
 
@@ -889,14 +952,13 @@ mod tests {
         let mut plane = crate::plane::ControlPlane::new(
             trees.clone(),
             vec![Watts::new(1240.0)],
-            crate::plane::PlaneConfig {
-                policy: PolicyKind::GlobalPriority,
-                spo: false,
-                control_period: Seconds::new(8.0),
-            },
+            crate::plane::PlaneConfig::default()
+                .with_policy(PolicyKind::GlobalPriority)
+                .with_spo(false)
+                .with_control_period(Seconds::new(8.0)),
         );
         plane.record_sample(&sync_farm);
-        let report = plane.run_round(&mut sync_farm);
+        let report = plane.round(&mut sync_farm).clone();
 
         let mut deployment = WorkerDeployment::spawn(
             trees.clone(),

@@ -2,8 +2,8 @@
 //! bit-identical decisions to the sequential path, for every thread
 //! count. The budget split itself is always sequential; what fans out is
 //! the per-server estimate/sense work and the per-tree allocation — all
-//! order-preserving, so `run_round` with 8 threads must equal `run_round`
-//! with 1 thread exactly.
+//! order-preserving, so a round with 8 threads must equal a round with
+//! 1 thread exactly.
 
 use capmaestro_core::plane::{BudgetSource, ControlPlane, Farm, PlaneConfig};
 use capmaestro_core::policy::PolicyKind;
@@ -40,11 +40,10 @@ fn rig(parallelism: usize, spo: bool) -> (Farm, ControlPlane) {
     let plane = ControlPlane::with_budget_source(
         trees,
         BudgetSource::SharedPerPhase(Watts::new(1400.0)),
-        PlaneConfig {
-            policy: PolicyKind::GlobalPriority,
-            spo,
-            control_period: Seconds::new(8.0),
-        },
+        PlaneConfig::default()
+            .with_policy(PolicyKind::GlobalPriority)
+            .with_spo(spo)
+            .with_control_period(Seconds::new(8.0)),
     );
     (farm, plane)
 }
@@ -61,8 +60,8 @@ fn parallel_rounds_match_sequential_bitwise() {
                 farm_seq.step_all(Seconds::new(1.0));
                 farm_par.step_all(Seconds::new(1.0));
             }
-            let report_seq = plane_seq.run_round(&mut farm_seq);
-            let report_par = plane_par.run_round(&mut farm_par);
+            let report_seq = plane_seq.round(&mut farm_seq).clone();
+            let report_par = plane_par.round(&mut farm_par).clone();
             assert_eq!(
                 report_seq.dc_caps.len(),
                 report_par.dc_caps.len(),

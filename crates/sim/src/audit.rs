@@ -22,7 +22,9 @@
 //! ever.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
+use capmaestro_core::obs::{names, null_recorder, Recorder};
 use capmaestro_core::plane::Farm;
 use capmaestro_topology::{FeedId, NodeId, Priority, ServerId, Topology};
 use capmaestro_units::Watts;
@@ -289,6 +291,8 @@ pub struct InvariantTracker {
     /// Trip entries of the engine trace already reported.
     trips_seen: usize,
     seconds_observed: u64,
+    /// Sink for the `capmaestro_invariant_violations_total` counter.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl InvariantTracker {
@@ -303,7 +307,22 @@ impl InvariantTracker {
             out_of_range: HashSet::new(),
             trips_seen: 0,
             seconds_observed: 0,
+            recorder: null_recorder(),
         }
+    }
+
+    /// Returns the tracker with its metrics recorder replaced; every
+    /// recorded violation then also bumps
+    /// `capmaestro_invariant_violations_total`.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Replaces the metrics recorder in place.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
     }
 
     /// The thresholds in force.
@@ -330,6 +349,8 @@ impl InvariantTracker {
     /// for the end-of-run recovery check, which needs cross-run context
     /// the per-second observer does not have).
     pub fn record(&mut self, second: u64, kind: InvariantKind, detail: String) {
+        self.recorder
+            .counter_add(names::INVARIANT_VIOLATIONS_TOTAL, 1);
         self.violations.push(Violation {
             second,
             kind,
@@ -341,6 +362,7 @@ impl InvariantTracker {
     /// (e.g. from the `run_observed` observer).
     pub fn observe(&mut self, engine: &Engine) {
         self.seconds_observed += 1;
+        let violations_before = self.violations.len();
         let now = engine.now_s();
         let farm = engine.farm();
         let plane = engine.plane();
@@ -568,6 +590,17 @@ impl InvariantTracker {
                 }
             }
             None => self.meter_gap_s.clear(),
+        }
+
+        // Several checks above push violations directly (trips, cap
+        // range, budget, inversion, metering); one length delta covers
+        // them all.
+        let new_violations = self.violations.len() - violations_before;
+        if new_violations > 0 {
+            self.recorder.counter_add(
+                names::INVARIANT_VIOLATIONS_TOTAL,
+                new_violations as u64,
+            );
         }
     }
 }

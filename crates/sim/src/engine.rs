@@ -7,7 +7,9 @@
 //! recorded into a [`Trace`] for the figure-regeneration harnesses.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use capmaestro_core::obs::{names, PhaseTimer};
 use capmaestro_core::par::par_map;
 use capmaestro_core::plane::{ControlPlane, Farm, RoundReport};
 use capmaestro_server::{SenseInterposer, SensorSnapshot, Server};
@@ -667,12 +669,18 @@ impl Engine {
                 }
             }
             Event::InjectFault(server, kind) => {
+                self.plane
+                    .recorder()
+                    .counter_add(names::SIM_FAULT_EVENTS_TOTAL, 1);
                 self.faults.inject(server, kind);
             }
             Event::ClearFault(server) => {
                 self.faults.clear(server);
             }
             Event::FlapTelemetry(feed, spec) => {
+                self.plane
+                    .recorder()
+                    .counter_add(names::SIM_FAULT_EVENTS_TOTAL, 1);
                 let mut members: Vec<ServerId> = self
                     .topology
                     .feed(feed)
@@ -771,6 +779,9 @@ impl Engine {
     /// fault layer when it is active), control, physics, breakers,
     /// recording.
     fn step_second(&mut self) {
+        let recorder = Arc::clone(self.plane.recorder());
+        recorder.counter_add(names::SIM_STEPS_TOTAL, 1);
+        let _step_timer = PhaseTimer::start(&*recorder, names::SIM_STEP_SECONDS);
         {
             // Apply due events.
             while let Some((t, _)) = self.events.first() {
@@ -802,7 +813,7 @@ impl Engine {
                 self.delivered_valid = true;
             }
             if self.config.control_enabled && self.time_s.is_multiple_of(self.config.control_period_s) {
-                let report = self.plane.run_round_cached(&mut self.farm);
+                let report = self.plane.round(&mut self.farm);
                 for (id, cap) in &report.dc_caps {
                     self.last_caps.insert(*id, cap.as_f64());
                 }
@@ -901,7 +912,7 @@ impl Engine {
     /// budgets after [`Engine::run`].
     pub fn run_control_round(&mut self) -> capmaestro_core::plane::RoundReport {
         self.plane.record_sample(&self.farm);
-        self.plane.run_round(&mut self.farm)
+        self.plane.round(&mut self.farm).clone()
     }
 
     /// Immutable view of everything recorded so far. The event logs

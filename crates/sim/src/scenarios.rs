@@ -110,11 +110,10 @@ pub fn priority_rig(config: RigConfig) -> Rig {
     let plane = ControlPlane::new(
         trees,
         vec![Watts::new(1240.0)],
-        PlaneConfig {
-            policy: config.policy,
-            spo: config.spo,
-            control_period: Seconds::new(8.0),
-        },
+        PlaneConfig::default()
+            .with_policy(config.policy)
+            .with_spo(config.spo)
+            .with_control_period(Seconds::new(8.0)),
     );
     Rig {
         topology,
@@ -157,11 +156,10 @@ pub fn stranded_rig(config: RigConfig) -> Rig {
     let plane = ControlPlane::new(
         trees,
         vec![Watts::new(700.0), Watts::new(700.0)],
-        PlaneConfig {
-            policy: config.policy,
-            spo: config.spo,
-            control_period: Seconds::new(8.0),
-        },
+        PlaneConfig::default()
+            .with_policy(config.policy)
+            .with_spo(config.spo)
+            .with_control_period(Seconds::new(8.0)),
     );
     Rig {
         topology,
@@ -321,11 +319,10 @@ pub fn datacenter_rig(config: &DataCenterRigConfig) -> Rig {
     let plane = ControlPlane::with_budget_source(
         trees,
         BudgetSource::SharedPerPhase(config.contractual_per_phase),
-        PlaneConfig {
-            policy: config.policy,
-            spo: config.spo,
-            control_period: Seconds::new(8.0),
-        },
+        PlaneConfig::default()
+            .with_policy(config.policy)
+            .with_spo(config.spo)
+            .with_control_period(Seconds::new(8.0)),
     );
     Rig {
         topology,

@@ -1,5 +1,5 @@
 //! Differential tests for the incremental round pipeline: an engine
-//! running the cached/dirty-tracked `run_round_cached` path every round
+//! running the cached/dirty-tracked `ControlPlane::round` path every round
 //! must stay bit-identical to one whose `RoundContext` is thrown away
 //! and rebuilt from scratch every simulated second — on the Fig. 2 rig
 //! under seeded chaos plans, and on a 1024-server data center under a

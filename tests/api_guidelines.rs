@@ -33,9 +33,23 @@ fn core_types_are_send_and_sync() {
 }
 
 #[test]
+fn observability_types_are_send_and_sync() {
+    use capmaestro::core::obs;
+    assert_send_sync::<obs::MetricsRegistry>();
+    assert_send_sync::<obs::MetricsSnapshot>();
+    assert_send_sync::<obs::NullRecorder>();
+    assert_send_sync::<std::sync::Arc<dyn obs::Recorder>>();
+    assert_send_sync::<obs::RoundPhase>();
+    assert_send_sync::<capmaestro::core::RoundReport>();
+    assert_send_sync::<capmaestro::core::PlaneConfig>();
+    assert_send_sync::<capmaestro::core::workers::DeploymentConfig>();
+}
+
+#[test]
 fn error_types_are_well_behaved() {
     assert_error::<capmaestro::topology::TopologyError>();
     assert_error::<capmaestro::units::InvalidFractionError>();
+    assert_error::<capmaestro::core::obs::ParseError>();
 }
 
 #[test]
@@ -47,12 +61,57 @@ fn debug_representations_are_never_empty() {
     assert!(!format!("{:?}", capmaestro::core::PriorityMetrics::empty()).is_empty());
     let topo = capmaestro::topology::presets::figure2_feed();
     assert!(!format!("{topo:?}").is_empty());
+    let registry = capmaestro::core::obs::MetricsRegistry::new();
+    assert!(!format!("{registry:?}").is_empty());
+    assert!(!format!("{:?}", registry.snapshot()).is_empty());
+    assert!(!format!("{:?}", capmaestro::core::obs::NullRecorder).is_empty());
+    assert!(!format!("{:?}", capmaestro::core::obs::RoundPhase::Sense).is_empty());
+    assert!(!format!("{:?}", capmaestro::core::PlaneConfig::default()).is_empty());
+}
+
+#[test]
+fn round_report_debug_is_never_empty_via_public_api() {
+    use capmaestro::core::{ControlPlane, ControlTree, Farm, PlaneConfig};
+    use capmaestro::server::{Server, ServerConfig};
+    use capmaestro::units::{Seconds, Watts};
+
+    let topo = capmaestro::topology::presets::figure2_feed();
+    let trees: Vec<ControlTree> = topo
+        .control_tree_specs()
+        .into_iter()
+        .map(ControlTree::new)
+        .collect();
+    let mut farm = Farm::new();
+    for (id, _) in topo.servers() {
+        let mut server = Server::new(ServerConfig::paper_default().single_corded());
+        server.set_offered_demand(Watts::new(420.0));
+        server.settle();
+        farm.insert(id, server);
+    }
+    let mut plane = ControlPlane::new(trees, vec![Watts::new(1240.0)], PlaneConfig::default());
+    for _ in 0..8 {
+        plane.record_sample(&farm);
+        farm.step_all(Seconds::new(1.0));
+    }
+    let report = plane.round(&mut farm);
+    assert!(!format!("{report:?}").is_empty());
 }
 
 #[test]
 fn display_messages_are_lowercase_without_trailing_punctuation() {
     // C-GOOD-ERR: "lowercase without trailing punctuation".
     let err = capmaestro::units::Ratio::try_new_fraction(2.0).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.chars().next().unwrap().is_lowercase());
+    assert!(!msg.ends_with('.'));
+
+    let err = capmaestro::core::obs::prometheus::validate("not a metrics page")
+        .expect_err("garbage must not validate");
+    let msg = err.to_string();
+    assert!(msg.chars().next().unwrap().is_lowercase());
+    assert!(!msg.ends_with('.'));
+
+    let err = capmaestro::core::obs::json::parse("{").expect_err("truncated json must not parse");
     let msg = err.to_string();
     assert!(msg.chars().next().unwrap().is_lowercase());
     assert!(!msg.ends_with('.'));
