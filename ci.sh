@@ -28,6 +28,37 @@ cargo run --release -q -p capmaestro-bench --bin alloc -- \
 # observed; exits non-zero on any failure.
 cargo run --release -q --example observability -- --check
 
+# Serving-mode smoke: boot capmaestrod on an ephemeral port (flat-out
+# stepping, quit-on-stdin for a clean shutdown), curl all four endpoints,
+# run the daemon's own --probe (which validates the Prometheus payload,
+# round-trips the report JSON, and POSTs a budget), then shut down via
+# stdin. Everything is wall-clock bounded so a wedged daemon fails CI
+# instead of hanging it.
+cargo build --release -q -p capmaestro-serve --bin capmaestrod
+DAEMON_LOG=$(mktemp); DAEMON_FIFO=$(mktemp -u)
+mkfifo "$DAEMON_FIFO"
+timeout 120s ./target/release/capmaestrod \
+    --addr 127.0.0.1:0 --accel 0 --quit-on-stdin --wall-limit-s 90 \
+    <"$DAEMON_FIFO" >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+exec 9>"$DAEMON_FIFO"   # open the write end so the daemon's stdin stays live
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$DAEMON_LOG" && break
+    sleep 0.1
+done
+DAEMON_ADDR=$(sed -n 's|.*http://||p' "$DAEMON_LOG" | head -1)
+[[ -n "$DAEMON_ADDR" ]] || { echo "ci: capmaestrod never announced its port" >&2; cat "$DAEMON_LOG" >&2; exit 1; }
+curl -fsS --max-time 10 "http://$DAEMON_ADDR/metrics"  > /dev/null
+curl -fsS --max-time 10 "http://$DAEMON_ADDR/healthz"  > /dev/null
+curl -fsS --max-time 10 "http://$DAEMON_ADDR/report"   > /dev/null
+curl -fsS --max-time 10 -X POST --data '[1240]' "http://$DAEMON_ADDR/budget" > /dev/null
+timeout 60s ./target/release/capmaestrod --probe "$DAEMON_ADDR"
+echo quit >&9
+exec 9>&-
+wait "$DAEMON_PID"
+rm -f "$DAEMON_FIFO" "$DAEMON_LOG"
+echo "ci: serving-mode smoke ok"
+
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p capmaestro-bench --bin parallel_scale
 fi

@@ -18,6 +18,10 @@ use super::registry::{
 };
 use super::ParseError;
 
+/// The `Content-Type` an HTTP endpoint should declare for [`snapshot`]
+/// output.
+pub const CONTENT_TYPE: &str = "application/json";
+
 /// Write an `f64` as a JSON value (string-encoding non-finite values).
 fn fmt_f64(out: &mut String, value: f64) {
     if value == f64::INFINITY {
@@ -52,42 +56,50 @@ fn fmt_str(out: &mut String, s: &str) {
 
 /// Serialize a snapshot to pretty-printed JSON.
 pub fn snapshot(snap: &MetricsSnapshot) -> String {
-    let mut out = String::from("{\n  \"counters\": [");
+    let mut out = String::new();
+    snapshot_into(&mut out, snap);
+    out
+}
+
+/// Serialize a snapshot into an existing buffer (appending), so a
+/// serving loop can reuse one `String` across exports instead of
+/// allocating a fresh document each time.
+pub fn snapshot_into(out: &mut String, snap: &MetricsSnapshot) {
+    out.push_str("{\n  \"counters\": [");
     for (i, c) in snap.counters.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str("    {\"name\": ");
-        fmt_str(&mut out, &c.name);
+        fmt_str(out, &c.name);
         let _ = write!(out, ", \"value\": {}}}", c.value);
     }
     out.push_str("\n  ],\n  \"gauges\": [");
     for (i, g) in snap.gauges.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str("    {\"name\": ");
-        fmt_str(&mut out, &g.name);
+        fmt_str(out, &g.name);
         out.push_str(", \"value\": ");
-        fmt_f64(&mut out, g.value);
+        fmt_f64(out, g.value);
         out.push('}');
     }
     out.push_str("\n  ],\n  \"histograms\": [");
     for (i, h) in snap.histograms.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str("    {\"name\": ");
-        fmt_str(&mut out, &h.name);
+        fmt_str(out, &h.name);
         out.push_str(", \"sum\": ");
-        fmt_f64(&mut out, h.sum);
+        fmt_f64(out, h.sum);
         let _ = write!(out, ", \"count\": {}, \"buckets\": [", h.count);
         for (j, b) in h.buckets.iter().enumerate() {
             if j > 0 {
                 out.push_str(", ");
             }
             out.push_str("{\"le\": ");
-            fmt_f64(&mut out, b.le);
+            fmt_f64(out, b.le);
             let _ = write!(out, ", \"cumulative\": {}}}", b.cumulative);
         }
         out.push_str("]}");
     }
     out.push_str("\n  ]\n}\n");
-    out
 }
 
 /// A parsed JSON value.

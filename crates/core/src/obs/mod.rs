@@ -262,6 +262,20 @@ pub mod names {
     /// Counter: invariant violations recorded by `audit::InvariantTracker`.
     pub const INVARIANT_VIOLATIONS_TOTAL: &str =
         "capmaestro_invariant_violations_total";
+    /// Counter: HTTP requests accepted by the serving subsystem
+    /// (`capmaestro-serve`), across all endpoints.
+    pub const SERVE_REQUESTS_TOTAL: &str = "capmaestro_serve_requests_total";
+    /// Counter: HTTP requests answered with a 4xx status (unknown path,
+    /// wrong method, malformed body, out-of-bounds budget).
+    pub const SERVE_CLIENT_ERRORS_TOTAL: &str =
+        "capmaestro_serve_client_errors_total";
+    /// Counter: accepted `POST /budget` updates staged for the next
+    /// round boundary.
+    pub const SERVE_BUDGET_UPDATES_TOTAL: &str =
+        "capmaestro_serve_budget_updates_total";
+    /// Counter: HTTP worker threads respawned after a handler panic.
+    pub const SERVE_WORKER_RESPAWNS_TOTAL: &str =
+        "capmaestro_serve_worker_respawns_total";
 }
 
 #[cfg(test)]

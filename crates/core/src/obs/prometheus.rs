@@ -12,6 +12,10 @@ use std::fmt::Write as _;
 use super::registry::MetricsSnapshot;
 use super::ParseError;
 
+/// The `Content-Type` an HTTP scrape endpoint should declare for
+/// [`render`] output (text exposition format 0.0.4).
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// Split a full metric name into its base name and the inline label
 /// body, e.g. `m{phase="sense"}` → `("m", Some("phase=\"sense\""))`.
 fn split_name(full: &str) -> (&str, Option<&str>) {
@@ -55,25 +59,32 @@ fn type_line<'a>(
 /// Render a snapshot as Prometheus text exposition.
 pub fn render(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    render_into(&mut out, snapshot);
+    out
+}
 
+/// Render a snapshot into an existing buffer (appending), so a serving
+/// loop can reuse one `String` across scrapes instead of allocating a
+/// fresh page each time.
+pub fn render_into(out: &mut String, snapshot: &MetricsSnapshot) {
     let mut last: Option<&str> = None;
     for counter in &snapshot.counters {
         let (base, _) = split_name(&counter.name);
-        type_line(&mut out, &mut last, base, "counter");
+        type_line(out, &mut last, base, "counter");
         let _ = writeln!(out, "{} {}", counter.name, counter.value);
     }
 
     let mut last: Option<&str> = None;
     for gauge in &snapshot.gauges {
         let (base, _) = split_name(&gauge.name);
-        type_line(&mut out, &mut last, base, "gauge");
+        type_line(out, &mut last, base, "gauge");
         let _ = writeln!(out, "{} {}", gauge.name, fmt_value(gauge.value));
     }
 
     let mut last: Option<&str> = None;
     for hist in &snapshot.histograms {
         let (base, labels) = split_name(&hist.name);
-        type_line(&mut out, &mut last, base, "histogram");
+        type_line(out, &mut last, base, "histogram");
         let prefix = match labels {
             Some(body) => format!("{body},"),
             None => String::new(),
@@ -94,8 +105,6 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{base}_sum{suffix_labels} {}", fmt_value(hist.sum));
         let _ = writeln!(out, "{base}_count{suffix_labels} {}", hist.count);
     }
-
-    out
 }
 
 /// Whether `name` matches the metric-name regex

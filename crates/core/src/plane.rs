@@ -382,6 +382,63 @@ impl RoundReport {
             .map(|(_, _, w)| w)
             .sum()
     }
+
+    /// Encode the report as a [`MetricsSnapshot`](crate::obs::MetricsSnapshot)
+    /// so it can ride the existing `obs::json` exporter/parser pair: the
+    /// serving subsystem's `GET /report` renders this snapshot with
+    /// [`json::snapshot`](crate::obs::json::snapshot) and clients round-trip
+    /// it through [`json::parse`](crate::obs::json::parse).
+    ///
+    /// Counters carry the report's cardinalities (trees, capped servers);
+    /// gauges carry the watt figures (per-tree root and leaf totals, per-
+    /// server DC caps, stranded power reclaimed); there are no histograms.
+    /// Names follow the registry convention (sorted, labels inline).
+    pub fn metrics_snapshot(&self) -> crate::obs::MetricsSnapshot {
+        use crate::obs::{CounterSample, GaugeSample, MetricsSnapshot};
+
+        let counters = vec![
+            CounterSample {
+                name: "capmaestro_report_servers_capped".to_string(),
+                value: self.dc_caps.len() as u64,
+            },
+            CounterSample {
+                name: "capmaestro_report_trees".to_string(),
+                value: self.allocations.len() as u64,
+            },
+        ];
+
+        let mut gauges = Vec::with_capacity(self.dc_caps.len() + 2 * self.allocations.len() + 1);
+        let mut caps: Vec<(ServerId, Watts)> =
+            self.dc_caps.iter().map(|(&id, &w)| (id, w)).collect();
+        caps.sort_unstable_by_key(|(id, _)| *id);
+        for (id, cap) in caps {
+            gauges.push(GaugeSample {
+                name: format!("capmaestro_report_dc_cap_watts{{server=\"{}\"}}", id.0),
+                value: cap.as_f64(),
+            });
+        }
+        gauges.push(GaugeSample {
+            name: "capmaestro_report_stranded_watts_reclaimed".to_string(),
+            value: self.stranded_reclaimed.as_f64(),
+        });
+        for (tree, allocation) in self.allocations.iter().enumerate() {
+            gauges.push(GaugeSample {
+                name: format!("capmaestro_report_tree_leaf_watts{{tree=\"{tree}\"}}"),
+                value: allocation.total_leaf_budget().as_f64(),
+            });
+            gauges.push(GaugeSample {
+                name: format!("capmaestro_report_tree_root_watts{{tree=\"{tree}\"}}"),
+                value: allocation.node_budget(0).as_f64(),
+            });
+        }
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms: Vec::new(),
+        }
+    }
 }
 
 /// How the per-tree root budgets are determined each round.

@@ -1,0 +1,319 @@
+//! The `capmaestrod` run loop and its `--probe` smoke client.
+//!
+//! The daemon wires the paper's Table 2 priority rig (`priority_rig`)
+//! into a long-running process: a seeded `sim::Engine` stepped in real
+//! or accelerated time on the main thread, a [`MetricsRegistry`] wired
+//! in as the control plane's recorder, and an [`HttpServer`] serving
+//! [`Router`] over the published [`ServeState`]. One simulated second is
+//! one engine step; at `--accel 1` a step also takes one wall-clock
+//! second, at `--accel 0` the engine runs flat out (the mode ci.sh and
+//! the probe use).
+//!
+//! Shutdown (handle, stdin quit, `--seconds`, or `--wall-limit-s`)
+//! follows the protocol in DESIGN.md: stop accepting, drain in-flight
+//! requests, join the server's threads, then drop the engine.
+
+use std::io::BufRead;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use capmaestro_core::obs::{json, prometheus, MetricsRegistry};
+use capmaestro_sim::scenarios::{priority_rig, RigConfig};
+use capmaestro_sim::Engine;
+
+use crate::client;
+use crate::router::Router;
+use crate::server::{HttpConfig, HttpServer, ShutdownHandle};
+use crate::state::ServeState;
+
+/// Configuration for one daemon run.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks an ephemeral port (announced on
+    /// stdout).
+    pub addr: String,
+    /// Simulated seconds to run; 0 means run until told to stop.
+    pub seconds: u64,
+    /// Simulated seconds per wall-clock second; 0 runs flat out.
+    pub accel: f64,
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Whether the rig runs with supply-priority overdraw (SPO) on.
+    pub spo: bool,
+    /// Quit when stdin closes or delivers a `quit` line.
+    pub quit_on_stdin: bool,
+    /// Hard wall-clock stop, regardless of simulated progress.
+    pub wall_limit: Option<Duration>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            seconds: 0,
+            accel: 1.0,
+            workers: 2,
+            spo: true,
+            quit_on_stdin: false,
+            wall_limit: None,
+        }
+    }
+}
+
+/// What the command line asked for.
+#[derive(Debug, Clone)]
+pub enum DaemonCommand {
+    /// Run the daemon.
+    Run(DaemonConfig),
+    /// Probe a running daemon at this address and exit.
+    Probe(String),
+}
+
+/// Usage text for `capmaestrod --help`.
+pub const USAGE: &str = "\
+capmaestrod — CapMaestro serving daemon
+
+USAGE:
+    capmaestrod [--addr HOST:PORT | --port PORT] [--seconds N] [--accel F]
+                [--workers N] [--no-spo] [--quit-on-stdin] [--wall-limit-s N]
+    capmaestrod --probe HOST:PORT
+
+OPTIONS:
+    --addr HOST:PORT   bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+    --port PORT        shorthand for --addr 127.0.0.1:PORT
+    --seconds N        simulated seconds to run (default 0 = unbounded)
+    --accel F          simulated seconds per wall second (default 1; 0 = flat out)
+    --workers N        http worker threads (default 2)
+    --no-spo           disable supply-priority overdraw in the rig
+    --quit-on-stdin    exit when stdin closes or receives a 'quit' line
+    --wall-limit-s N   hard wall-clock stop after N seconds
+    --probe ADDR       smoke-check a running daemon: scrape and validate
+                       /metrics, /healthz, /report, then POST /budget
+
+ENDPOINTS:
+    GET  /metrics   Prometheus text exposition of the live registry
+    GET  /healthz   liveness: 200 while rounds are completing, else 503
+    GET  /report    JSON snapshot of the latest round report
+    POST /budget    stage per-tree root budgets, e.g. [1240]
+";
+
+/// Parse command-line arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<DaemonCommand, String> {
+    let mut config = DaemonConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value_for("--addr")?,
+            "--port" => {
+                let port: u16 = value_for("--port")?
+                    .parse()
+                    .map_err(|_| "--port needs a number in 0..=65535".to_string())?;
+                config.addr = format!("127.0.0.1:{port}");
+            }
+            "--seconds" => {
+                config.seconds = value_for("--seconds")?
+                    .parse()
+                    .map_err(|_| "--seconds needs a non-negative integer".to_string())?;
+            }
+            "--accel" => {
+                let accel: f64 = value_for("--accel")?
+                    .parse()
+                    .map_err(|_| "--accel needs a number".to_string())?;
+                if !accel.is_finite() || accel < 0.0 {
+                    return Err("--accel must be finite and >= 0".to_string());
+                }
+                config.accel = accel;
+            }
+            "--workers" => {
+                config.workers = value_for("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer".to_string())?;
+            }
+            "--no-spo" => config.spo = false,
+            "--quit-on-stdin" => config.quit_on_stdin = true,
+            "--wall-limit-s" => {
+                let secs: u64 = value_for("--wall-limit-s")?
+                    .parse()
+                    .map_err(|_| "--wall-limit-s needs a non-negative integer".to_string())?;
+                config.wall_limit = Some(Duration::from_secs(secs));
+            }
+            "--probe" => return Ok(DaemonCommand::Probe(value_for("--probe")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(DaemonCommand::Run(config))
+}
+
+/// Steps the engine trace is reset at, bounding daemon memory: the
+/// in-engine `Trace` grows per simulated second and nothing reads it in
+/// serving mode.
+const TRACE_RESET_PERIOD: u64 = 3600;
+
+/// Advance the engine by one simulated second and publish the result.
+///
+/// Shared by the daemon loop and the endpoint tests so both apply staged
+/// budgets and health updates identically. Returns whether this step
+/// fired a control round.
+pub fn drive_second(engine: &mut Engine, state: &ServeState) -> bool {
+    if let Some(budgets) = state.take_pending_budgets() {
+        engine.stage_root_budgets(budgets);
+    }
+    // Rounds fire when the pre-step clock is a period multiple.
+    let round_ran = engine.now_s().is_multiple_of(engine.control_period_s());
+    engine.step();
+    state.publish(engine, round_ran);
+    round_ran
+}
+
+/// Run the daemon until a stop condition. Returns the number of
+/// simulated seconds executed.
+pub fn run(config: &DaemonConfig) -> Result<u64, String> {
+    let rig = priority_rig(RigConfig::table2().with_spo(config.spo));
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut engine = Engine::new(rig);
+    engine.plane_mut().set_recorder(registry.clone());
+
+    let state = Arc::new(ServeState::new(
+        registry.clone(),
+        engine.control_period_s(),
+    ));
+    let router = Router::new(state.clone(), registry.clone());
+    let http_config = HttpConfig::default()
+        .with_addr(config.addr.clone())
+        .with_workers(config.workers)
+        .with_recorder(registry.clone());
+    let mut server = HttpServer::bind(http_config, Arc::new(router))
+        .map_err(|e| format!("bind {}: {e}", config.addr))?;
+
+    // ci.sh and the tests parse this line for the ephemeral port.
+    println!("capmaestrod: listening on http://{}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let shutdown = server.shutdown_handle();
+    if config.quit_on_stdin {
+        spawn_stdin_watcher(shutdown.clone());
+    }
+
+    let started = Instant::now();
+    let step_wall = if config.accel > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / config.accel))
+    } else {
+        None
+    };
+    let mut steps: u64 = 0;
+    while !shutdown.is_requested() {
+        if config.seconds > 0 && steps >= config.seconds {
+            break;
+        }
+        if let Some(limit) = config.wall_limit {
+            if started.elapsed() >= limit {
+                break;
+            }
+        }
+        drive_second(&mut engine, &state);
+        steps += 1;
+        if steps.is_multiple_of(TRACE_RESET_PERIOD) {
+            engine.reset_trace();
+        }
+        if let Some(step_wall) = step_wall {
+            pace(step_wall, &shutdown);
+        }
+    }
+
+    // Shutdown protocol: stop accepting, drain in-flight, join threads —
+    // only then is the engine (still borrowed by nobody, but the state
+    // the handlers read) allowed to go away.
+    server.shutdown();
+    drop(engine);
+    Ok(steps)
+}
+
+/// Sleep `total` in small chunks, returning early on shutdown.
+fn pace(total: Duration, shutdown: &ShutdownHandle) {
+    let chunk = Duration::from_millis(50);
+    let deadline = Instant::now() + total;
+    while !shutdown.is_requested() {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        std::thread::sleep(chunk.min(deadline - now));
+    }
+}
+
+/// Watch stdin; request shutdown on EOF or a `quit` line.
+fn spawn_stdin_watcher(shutdown: ShutdownHandle) {
+    std::thread::Builder::new()
+        .name("serve-stdin".to_string())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(line) if line.trim() == "quit" => break,
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            shutdown.request();
+        })
+        .expect("spawn serve-stdin thread");
+}
+
+/// Smoke-check a running daemon: every endpoint must answer and every
+/// payload must validate. Returns a human-readable transcript.
+pub fn probe(addr: &str) -> Result<String, String> {
+    let mut transcript = String::new();
+
+    let metrics = client::get(addr, "/metrics")?;
+    if metrics.status != 200 {
+        return Err(format!("/metrics answered {}", metrics.status));
+    }
+    let page = metrics.body_str()?;
+    let samples = prometheus::validate(page)
+        .map_err(|e| format!("/metrics payload does not validate: {e}"))?;
+    transcript.push_str(&format!("/metrics: 200, {samples} valid sample lines\n"));
+
+    let health = client::get(addr, "/healthz")?;
+    if health.status != 200 {
+        return Err(format!(
+            "/healthz answered {}: {}",
+            health.status,
+            health.body_str().unwrap_or("<binary>")
+        ));
+    }
+    transcript.push_str(&format!("/healthz: 200, {}", health.body_str()?));
+
+    let report = client::get(addr, "/report")?;
+    if report.status != 200 {
+        return Err(format!("/report answered {}", report.status));
+    }
+    json::parse(report.body_str()?)
+        .map_err(|e| format!("/report payload does not parse as json: {e}"))?;
+    transcript.push_str("/report: 200, parses as a metrics snapshot\n");
+
+    let budget = client::post(addr, "/budget", b"[1240]")?;
+    if budget.status != 200 {
+        return Err(format!(
+            "POST /budget answered {}: {}",
+            budget.status,
+            budget.body_str().unwrap_or("<binary>")
+        ));
+    }
+    transcript.push_str(&format!("POST /budget: 200, {}", budget.body_str()?));
+
+    let again = client::get(addr, "/metrics")?;
+    if again.status != 200 {
+        return Err(format!("second /metrics answered {}", again.status));
+    }
+    prometheus::validate(again.body_str()?)
+        .map_err(|e| format!("second /metrics payload does not validate: {e}"))?;
+    transcript.push_str("probe: all endpoints healthy\n");
+    Ok(transcript)
+}

@@ -1,0 +1,47 @@
+//! Long-running serving mode for CapMaestro.
+//!
+//! The `obs` exporters (`prometheus::render`, `json::snapshot`) render on
+//! demand; this crate makes them *scrapeable while a run is in flight* —
+//! the serving mode the paper's §4.3 control plane implies (a persistent
+//! daemon in the data center, not a batch job). Everything is built on
+//! `std::net` — no new dependencies, matching the workspace's offline
+//! constraint.
+//!
+//! Layers, bottom up:
+//!
+//! - [`http`] — a minimal HTTP/1.1 request parser (bounded head and body,
+//!   strict grammar, fuzzed) and response writer. One request per
+//!   connection, `Connection: close` always.
+//! - [`server`] — [`server::HttpServer`]: a `TcpListener` accept loop, a
+//!   small worker-thread pool with panic respawn, per-connection
+//!   read/write timeouts, and a graceful [`server::ShutdownHandle`]
+//!   (stop accepting → drain in-flight → join).
+//! - [`state`] — [`state::ServeState`]: the shared-state seam between the
+//!   engine thread and HTTP workers. Handlers only ever read pre-published
+//!   state; they never touch the engine.
+//! - [`router`] — the endpoint table: `GET /metrics` (Prometheus text
+//!   exposition of the live registry), `GET /healthz` (round liveness +
+//!   degradation-ladder state), `GET /report` (JSON snapshot of the
+//!   latest `RoundReport`), `POST /budget` (bounds-checked root-budget
+//!   update, applied at the next round boundary).
+//! - [`daemon`] — the `capmaestrod` run loop: a seeded [`capmaestro_sim`]
+//!   scenario stepped in real or accelerated time behind the server, plus
+//!   the `--probe` smoke client ci.sh uses.
+//! - [`client`] — a tiny blocking HTTP client for tests and the probe;
+//!   its response parser doubles as the well-formedness oracle for the
+//!   parser fuzz suite.
+//!
+//! See DESIGN.md "Serving mode" for the endpoint table, health semantics,
+//! and the shutdown protocol.
+
+pub mod client;
+pub mod daemon;
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod state;
+
+pub use http::{HttpError, HttpLimits, Request, Response};
+pub use router::Router;
+pub use server::{Handler, HttpConfig, HttpServer, ShutdownHandle};
+pub use state::{BudgetError, HealthSnapshot, ServeState};

@@ -1,0 +1,145 @@
+//! The endpoint table mapping parsed requests onto [`ServeState`].
+//!
+//! | Endpoint        | Method | Body                                         |
+//! |-----------------|--------|----------------------------------------------|
+//! | `/metrics`      | GET    | Prometheus text exposition of the registry   |
+//! | `/healthz`      | GET    | JSON liveness (200 ok / 503 unhealthy)       |
+//! | `/report`       | GET    | JSON snapshot of the latest `RoundReport`    |
+//! | `/budget`       | POST   | JSON array of per-tree root budgets in watts |
+//!
+//! Known paths with the wrong method answer `405`; unknown paths `404`.
+//! Every 4xx bumps `capmaestro_serve_client_errors_total`.
+
+use std::sync::Arc;
+
+use capmaestro_core::obs::{json, names, prometheus, Recorder};
+
+use crate::http::{Request, Response};
+use crate::server::Handler;
+use crate::state::ServeState;
+
+/// The daemon's [`Handler`]: routes requests onto shared serve state.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// State published by the engine thread.
+    state: Arc<ServeState>,
+    /// Metrics sink for request/error counters.
+    recorder: Arc<dyn Recorder>,
+}
+
+impl Router {
+    /// A router over `state`, counting into `recorder`.
+    pub fn new(state: Arc<ServeState>, recorder: Arc<dyn Recorder>) -> Self {
+        Router { state, recorder }
+    }
+
+    /// The shared state this router serves.
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Count a client error and return the response unchanged.
+    fn client_error(&self, response: Response) -> Response {
+        self.recorder
+            .counter_add(names::SERVE_CLIENT_ERRORS_TOTAL, 1);
+        response
+    }
+
+    /// `GET /metrics`.
+    fn metrics(&self) -> Response {
+        Response::new(200, prometheus::CONTENT_TYPE, self.state.metrics_page())
+    }
+
+    /// `GET /healthz`.
+    fn healthz(&self) -> Response {
+        let health = self.state.health();
+        let status = if health.healthy { 200 } else { 503 };
+        Response::new(status, json::CONTENT_TYPE, health.to_json())
+    }
+
+    /// `GET /report`.
+    fn report(&self) -> Response {
+        match self.state.report_json() {
+            Some(body) => Response::new(200, json::CONTENT_TYPE, body),
+            None => Response::text(503, "no control round has completed yet\n"),
+        }
+    }
+
+    /// `POST /budget`.
+    fn budget(&self, request: &Request) -> Response {
+        let Ok(body) = std::str::from_utf8(&request.body) else {
+            return self.client_error(Response::text(400, "budget body is not valid utf-8\n"));
+        };
+        let Some(budgets) = parse_budgets(body) else {
+            return self.client_error(Response::text(
+                400,
+                "expected a json array of watts, e.g. [700, 700]\n",
+            ));
+        };
+        match self.state.stage_budgets(&budgets) {
+            Ok(count) => {
+                self.recorder
+                    .counter_add(names::SERVE_BUDGET_UPDATES_TOTAL, 1);
+                Response::new(
+                    200,
+                    json::CONTENT_TYPE,
+                    format!("{{\"status\":\"staged\",\"budgets\":{count}}}\n"),
+                )
+            }
+            Err(error) => self.client_error(Response::text(400, format!("{error}\n"))),
+        }
+    }
+}
+
+impl Handler for Router {
+    fn handle(&self, request: &Request) -> Response {
+        self.recorder.counter_add(names::SERVE_REQUESTS_TOTAL, 1);
+        match (request.method.as_str(), request.path()) {
+            ("GET", "/metrics") => self.metrics(),
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/report") => self.report(),
+            ("POST", "/budget") => self.budget(request),
+            (_, "/metrics" | "/healthz" | "/report" | "/budget") => self.client_error(
+                Response::text(405, "method not allowed on this endpoint\n"),
+            ),
+            _ => self.client_error(Response::text(404, "no such endpoint\n")),
+        }
+    }
+}
+
+/// Parse a `POST /budget` body: a JSON array of numbers (`[700, 700]`)
+/// or, as a convenience for single-tree rigs, one bare number (`1240`).
+fn parse_budgets(body: &str) -> Option<Vec<f64>> {
+    let trimmed = body.trim();
+    if let Some(inner) = trimmed
+        .strip_prefix('[')
+        .and_then(|rest| rest.strip_suffix(']'))
+    {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Some(Vec::new());
+        }
+        inner
+            .split(',')
+            .map(|part| part.trim().parse::<f64>().ok())
+            .collect()
+    } else {
+        trimmed.parse::<f64>().ok().map(|w| vec![w])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_budget_bodies() {
+        assert_eq!(parse_budgets("[700, 700]"), Some(vec![700.0, 700.0]));
+        assert_eq!(parse_budgets(" [1240.5] "), Some(vec![1240.5]));
+        assert_eq!(parse_budgets("1240"), Some(vec![1240.0]));
+        assert_eq!(parse_budgets("[]"), Some(Vec::new()));
+        assert_eq!(parse_budgets("[700, seven]"), None);
+        assert_eq!(parse_budgets("{\"watts\": 700}"), None);
+        assert_eq!(parse_budgets(""), None);
+    }
+}

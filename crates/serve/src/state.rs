@@ -1,0 +1,268 @@
+//! The shared-state seam between the engine thread and HTTP workers.
+//!
+//! HTTP handlers never touch the engine. Instead the engine thread calls
+//! [`ServeState::publish`] after every step, copying the handful of
+//! fields the endpoints need behind short-lived locks; handlers read
+//! those copies. Likewise `POST /budget` never mutates the control
+//! plane — it stages a bounds-checked budget vector that the engine
+//! thread picks up with [`ServeState::take_pending_budgets`] and applies
+//! at the next round boundary (via `Engine::stage_root_budgets`), so the
+//! round pipeline keeps its single-writer discipline.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use capmaestro_core::obs::{json, prometheus, MetricsRegistry};
+use capmaestro_sim::Engine;
+use capmaestro_units::Watts;
+
+/// Mutable health fields, updated by the engine thread on every step.
+#[derive(Debug, Default)]
+struct HealthInner {
+    /// Wall-clock instant of the last completed control round.
+    last_round: Option<Instant>,
+    /// Control rounds completed since the daemon started.
+    rounds_total: u64,
+    /// Simulated seconds elapsed.
+    sim_seconds: u64,
+    /// Servers currently degraded to last-known-good telemetry.
+    stale_servers: usize,
+    /// Number of control trees (the expected `POST /budget` arity).
+    trees: usize,
+}
+
+/// Point-in-time health as served by `GET /healthz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// Whether a round completed within the staleness window.
+    pub healthy: bool,
+    /// Whether any server is running on last-known-good telemetry
+    /// (the fail-safe degradation ladder is engaged).
+    pub degraded: bool,
+    /// Control rounds completed since the daemon started.
+    pub rounds_total: u64,
+    /// Simulated seconds elapsed.
+    pub sim_seconds: u64,
+    /// Wall-clock seconds since the last round, if any round ran.
+    pub last_round_age_s: Option<f64>,
+    /// The configured control period, for scrapers to contextualize age.
+    pub control_period_s: u64,
+    /// Count of servers on stale telemetry.
+    pub stale_servers: usize,
+    /// Number of control trees.
+    pub trees: usize,
+}
+
+impl HealthSnapshot {
+    /// Render as the `/healthz` JSON body.
+    pub fn to_json(&self) -> String {
+        let status = if self.healthy { "ok" } else { "unhealthy" };
+        let age = match self.last_round_age_s {
+            Some(age) => format!("{age:.3}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"status\":\"{status}\",\"degraded\":{},\"rounds_total\":{},\"sim_seconds\":{},\"last_round_age_s\":{age},\"control_period_s\":{},\"stale_servers\":{},\"trees\":{}}}\n",
+            self.degraded,
+            self.rounds_total,
+            self.sim_seconds,
+            self.control_period_s,
+            self.stale_servers,
+            self.trees,
+        )
+    }
+}
+
+/// Why a `POST /budget` payload was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetError {
+    /// The payload had the wrong number of budgets for the tree count.
+    WrongArity {
+        /// Budgets supplied.
+        got: usize,
+        /// Trees in the control plane.
+        want: usize,
+    },
+    /// A budget was NaN or infinite.
+    NotFinite,
+    /// A budget fell outside the configured bounds.
+    OutOfBounds {
+        /// The offending value in watts.
+        value: f64,
+        /// Inclusive lower bound in watts.
+        min: f64,
+        /// Inclusive upper bound in watts.
+        max: f64,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::WrongArity { got, want } => {
+                write!(f, "expected {want} budgets (one per tree), got {got}")
+            }
+            BudgetError::NotFinite => write!(f, "budgets must be finite numbers"),
+            BudgetError::OutOfBounds { value, min, max } => {
+                write!(f, "budget {value} W outside allowed range [{min}, {max}] W")
+            }
+        }
+    }
+}
+
+impl Error for BudgetError {}
+
+/// Shared state published by the engine thread and read by handlers.
+#[derive(Debug)]
+pub struct ServeState {
+    /// The live registry the engine's recorder writes into; `/metrics`
+    /// renders a snapshot of it.
+    registry: Arc<MetricsRegistry>,
+    /// The engine's control period (seconds of simulated time).
+    control_period_s: u64,
+    /// `/healthz` flips unhealthy when no round completed within this
+    /// wall-clock window.
+    unhealthy_after: Duration,
+    /// Inclusive per-tree budget bounds accepted by `POST /budget`.
+    budget_min: Watts,
+    /// See `budget_min`.
+    budget_max: Watts,
+    /// Pre-rendered JSON of the latest `RoundReport`'s metrics snapshot.
+    report_json: RwLock<Option<String>>,
+    /// Health fields behind one short-lived lock.
+    health: Mutex<HealthInner>,
+    /// Budgets staged by `POST /budget`, awaiting the engine thread.
+    pending: Mutex<Option<Vec<Watts>>>,
+}
+
+impl ServeState {
+    /// New state for an engine with the given registry and control
+    /// period. Defaults: unhealthy after 3 control periods (but at least
+    /// 3 wall-clock seconds, so accelerated runs aren't flappy) and
+    /// budgets accepted in `[1, 10_000_000]` W.
+    pub fn new(registry: Arc<MetricsRegistry>, control_period_s: u64) -> Self {
+        let window_s = (3 * control_period_s).max(3);
+        ServeState {
+            registry,
+            control_period_s,
+            unhealthy_after: Duration::from_secs(window_s),
+            budget_min: Watts::new(1.0),
+            budget_max: Watts::new(10_000_000.0),
+            report_json: RwLock::new(None),
+            health: Mutex::new(HealthInner::default()),
+            pending: Mutex::new(None),
+        }
+    }
+
+    /// Override the staleness window for `/healthz`.
+    pub fn with_unhealthy_after(mut self, window: Duration) -> Self {
+        self.unhealthy_after = window;
+        self
+    }
+
+    /// Override the inclusive bounds accepted by `POST /budget`.
+    pub fn with_budget_bounds(mut self, min: Watts, max: Watts) -> Self {
+        self.budget_min = min;
+        self.budget_max = max;
+        self
+    }
+
+    /// The registry `/metrics` renders from.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Publish the engine's current state. Called by the engine thread
+    /// after every step; `round_ran` marks steps that fired a control
+    /// round (those also refresh the `/report` payload and the health
+    /// round clock).
+    pub fn publish(&self, engine: &Engine, round_ran: bool) {
+        {
+            let mut health = self.health.lock().unwrap_or_else(|p| p.into_inner());
+            health.sim_seconds = engine.now_s();
+            health.stale_servers = engine.plane().stale_servers().len();
+            health.trees = engine.plane().trees().len();
+            if round_ran {
+                health.rounds_total += 1;
+                health.last_round = Some(Instant::now());
+            }
+        }
+        if round_ran {
+            if let Some(report) = engine.last_round_report() {
+                let rendered = json::snapshot(&report.metrics_snapshot());
+                let mut slot = self.report_json.write().unwrap_or_else(|p| p.into_inner());
+                *slot = Some(rendered);
+            }
+        }
+    }
+
+    /// The current health view, as `GET /healthz` reports it.
+    pub fn health(&self) -> HealthSnapshot {
+        let health = self.health.lock().unwrap_or_else(|p| p.into_inner());
+        let last_round_age = health.last_round.map(|at| at.elapsed());
+        HealthSnapshot {
+            healthy: last_round_age.is_some_and(|age| age <= self.unhealthy_after),
+            degraded: health.stale_servers > 0,
+            rounds_total: health.rounds_total,
+            sim_seconds: health.sim_seconds,
+            last_round_age_s: last_round_age.map(|age| age.as_secs_f64()),
+            control_period_s: self.control_period_s,
+            stale_servers: health.stale_servers,
+            trees: health.trees,
+        }
+    }
+
+    /// The latest `/report` JSON payload, if any round has completed.
+    pub fn report_json(&self) -> Option<String> {
+        self.report_json
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Render the `/metrics` Prometheus page from the live registry.
+    pub fn metrics_page(&self) -> String {
+        prometheus::render(&self.registry.snapshot())
+    }
+
+    /// Validate and stage a budget vector (raw watts, one per tree) for
+    /// the next round boundary. Takes `f64`s rather than [`Watts`] so
+    /// non-finite client input is rejected here instead of tripping
+    /// `Watts::new`'s debug assertion. Returns the number staged.
+    pub fn stage_budgets(&self, budgets: &[f64]) -> Result<usize, BudgetError> {
+        let trees = {
+            let health = self.health.lock().unwrap_or_else(|p| p.into_inner());
+            health.trees
+        };
+        if budgets.len() != trees {
+            return Err(BudgetError::WrongArity {
+                got: budgets.len(),
+                want: trees,
+            });
+        }
+        for &w in budgets {
+            if !w.is_finite() {
+                return Err(BudgetError::NotFinite);
+            }
+            if w < self.budget_min.as_f64() || w > self.budget_max.as_f64() {
+                return Err(BudgetError::OutOfBounds {
+                    value: w,
+                    min: self.budget_min.as_f64(),
+                    max: self.budget_max.as_f64(),
+                });
+            }
+        }
+        let staged: Vec<Watts> = budgets.iter().map(|&w| Watts::new(w)).collect();
+        let count = staged.len();
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        *pending = Some(staged);
+        Ok(count)
+    }
+
+    /// Take any staged budgets (engine thread, once per step).
+    pub fn take_pending_budgets(&self) -> Option<Vec<Watts>> {
+        self.pending.lock().unwrap_or_else(|p| p.into_inner()).take()
+    }
+}

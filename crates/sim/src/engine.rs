@@ -430,6 +430,10 @@ pub struct Engine {
     /// Whether the last stepped second sensed through the fault layer
     /// (i.e. `delivered` describes it).
     delivered_valid: bool,
+    /// Root budgets staged by [`Engine::stage_root_budgets`], applied at
+    /// the next control-round boundary (the serving subsystem's
+    /// `POST /budget` path).
+    staged_budgets: Option<Vec<Watts>>,
 }
 
 impl Engine {
@@ -487,6 +491,7 @@ impl Engine {
             recorder: TraceRecorder::default(),
             delivered: Vec::new(),
             delivered_valid: false,
+            staged_budgets: None,
         }
     }
 
@@ -550,6 +555,33 @@ impl Engine {
     /// The current simulation second (seconds fully stepped so far).
     pub fn now_s(&self) -> u64 {
         self.time_s
+    }
+
+    /// Seconds between control rounds (8 in the paper).
+    pub fn control_period_s(&self) -> u64 {
+        self.config.control_period_s
+    }
+
+    /// Stages replacement per-tree root budgets to be applied at the
+    /// *next* control-round boundary, not mid-period — the thread-safe
+    /// seam behind the serving subsystem's `POST /budget`. A later call
+    /// before the boundary replaces the staged set. Staged budgets whose
+    /// count no longer matches the plane's live trees (a feed failed in
+    /// between) are discarded rather than applied.
+    pub fn stage_root_budgets(&mut self, budgets: Vec<Watts>) -> &mut Self {
+        self.staged_budgets = Some(budgets);
+        self
+    }
+
+    /// Drops everything recorded so far and resets the trace to empty
+    /// (series layouts are relearned on the next step). A long-running
+    /// daemon calls this periodically so an unbounded serving run does
+    /// not accumulate an unbounded trace.
+    pub fn reset_trace(&mut self) {
+        self.recorder = TraceRecorder::default();
+        let seconds = self.time_s;
+        self.trace = Trace::default();
+        self.trace.seconds = seconds;
     }
 
     /// The most recent control round's decisions, if any round ran.
@@ -813,6 +845,11 @@ impl Engine {
                 self.delivered_valid = true;
             }
             if self.config.control_enabled && self.time_s.is_multiple_of(self.config.control_period_s) {
+                if let Some(budgets) = self.staged_budgets.take() {
+                    if budgets.len() == self.plane.trees().len() {
+                        self.plane.set_root_budgets(budgets);
+                    }
+                }
                 let report = self.plane.round(&mut self.farm);
                 for (id, cap) in &report.dc_caps {
                     self.last_caps.insert(*id, cap.as_f64());

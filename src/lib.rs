@@ -22,7 +22,10 @@
 //! - [`core`] — the paper's contribution: controllers, policies, SPO,
 //!   control plane,
 //! - [`sim`] — the time-stepped data-center simulator and the Monte-Carlo
-//!   capacity planner.
+//!   capacity planner,
+//! - [`serve`] — the long-running serving mode: the in-tree HTTP
+//!   observability endpoint (`/metrics`, `/healthz`, `/report`,
+//!   `POST /budget`) and the `capmaestrod` daemon.
 //!
 //! # Quick start
 //!
@@ -53,6 +56,7 @@
 //! ```
 
 pub use capmaestro_core as core;
+pub use capmaestro_serve as serve;
 pub use capmaestro_server as server;
 pub use capmaestro_sim as sim;
 pub use capmaestro_topology as topology;

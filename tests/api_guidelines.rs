@@ -46,10 +46,29 @@ fn observability_types_are_send_and_sync() {
 }
 
 #[test]
+fn serve_types_are_send_and_sync() {
+    use capmaestro::serve;
+    assert_send_sync::<serve::HttpServer>();
+    assert_send_sync::<serve::HttpConfig>();
+    assert_send_sync::<serve::ShutdownHandle>();
+    assert_send_sync::<serve::Router>();
+    assert_send_sync::<serve::ServeState>();
+    assert_send_sync::<serve::Request>();
+    assert_send_sync::<serve::Response>();
+    assert_send_sync::<serve::HttpLimits>();
+    assert_send_sync::<serve::HealthSnapshot>();
+    assert_send_sync::<std::sync::Arc<dyn serve::Handler>>();
+    assert_send_sync::<serve::daemon::DaemonConfig>();
+    assert_send_sync::<serve::client::HttpResponse>();
+}
+
+#[test]
 fn error_types_are_well_behaved() {
     assert_error::<capmaestro::topology::TopologyError>();
     assert_error::<capmaestro::units::InvalidFractionError>();
     assert_error::<capmaestro::core::obs::ParseError>();
+    assert_error::<capmaestro::serve::HttpError>();
+    assert_error::<capmaestro::serve::BudgetError>();
 }
 
 #[test]
@@ -112,6 +131,16 @@ fn display_messages_are_lowercase_without_trailing_punctuation() {
     assert!(!msg.ends_with('.'));
 
     let err = capmaestro::core::obs::json::parse("{").expect_err("truncated json must not parse");
+    let msg = err.to_string();
+    assert!(msg.chars().next().unwrap().is_lowercase());
+    assert!(!msg.ends_with('.'));
+
+    let err = capmaestro::serve::HttpError::bad_request("malformed request line");
+    let msg = err.to_string();
+    assert!(msg.chars().next().unwrap().is_lowercase());
+    assert!(!msg.ends_with('.'));
+
+    let err = capmaestro::serve::BudgetError::NotFinite;
     let msg = err.to_string();
     assert!(msg.chars().next().unwrap().is_lowercase());
     assert!(!msg.ends_with('.'));
