@@ -9,7 +9,8 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo test --workspace -q
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings \
+    -D clippy::large_stack_arrays -D clippy::needless_collect
 
 # Deterministic chaos smoke: seeded telemetry faults against both rigs,
 # invariant-checked every simulated second; exits non-zero on violation.
@@ -21,6 +22,11 @@ cargo run --release -q -p capmaestro-bench --bin chaos -- \
 # or the bench exits non-zero.
 cargo run --release -q -p capmaestro-bench --bin alloc -- \
     --smoke --out BENCH_alloc_smoke.json
+
+# Fleet-stepping smoke: the sharded, event-driven slab pipeline (1 Hz
+# sample + fused step-and-sense + control rounds) on a 128-server rig in
+# both stepping modes; exits non-zero on degenerate throughput.
+cargo run --release -q -p capmaestro-bench --bin fleet -- --smoke
 
 # Observability smoke: 20 instrumented rounds on the Fig. 2 rig, then
 # validate the Prometheus page against the exposition grammar, round-trip

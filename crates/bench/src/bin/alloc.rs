@@ -295,6 +295,34 @@ fn smoke() -> i32 {
         return 1;
     }
 
+    // Phase 3: the zero-alloc sense path. `ControlPlane::sample` syncs
+    // the farm's snapshot slab into the plane's persistent scratch
+    // buffer (replacing the allocating `sense_all`), and the engine's
+    // fused step-and-sense writes into a reused `SenseBuffer`. Once both
+    // buffers are warm, a full 1 Hz sense+step second must not allocate.
+    let mut sense_buf = capmaestro_core::plane::SenseBuffer::new();
+    const SENSE_WARMUP: u32 = 2;
+    const SENSE_STEPS: u32 = 30;
+    for _ in 0..SENSE_WARMUP {
+        plane_a.sample(&mut farm_a);
+        farm_a.step_and_sense_into(Seconds::new(1.0), &mut sense_buf);
+    }
+    let mut sense_allocs = 0u64;
+    for _ in 0..SENSE_STEPS {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        plane_a.sample(&mut farm_a);
+        farm_a.step_and_sense_into(Seconds::new(1.0), &mut sense_buf);
+        sense_allocs += ALLOCS.load(Ordering::Relaxed) - before;
+    }
+    println!(
+        "smoke: {sense_allocs} heap allocations over {SENSE_STEPS} \
+         sense+step seconds (sample + step_and_sense_into)"
+    );
+    if sense_allocs > 0 {
+        eprintln!("FAIL: the warm sense path allocated.");
+        return 1;
+    }
+
     println!("smoke ok: bit-identical and allocation-free once warm, with and without recording.");
     0
 }

@@ -138,7 +138,9 @@ impl DemandEstimator {
         let (ft, fp) = if self.recent.len() < 3 {
             (t, power)
         } else {
-            let mut by_power: Vec<(f64, Watts)> = self.recent.iter().copied().collect();
+            // Exactly three recents: select the median on the stack (the
+            // per-sample hot path must not allocate).
+            let mut by_power = [self.recent[0], self.recent[1], self.recent[2]];
             by_power.sort_by(|a, b| Watts::total_cmp(&a.1, &b.1));
             let (mt, mp) = by_power[1];
             let limit = (cap_max - idle).as_f64() * SPIKE_DEVIATION_FRACTION;

@@ -69,6 +69,40 @@ where
     });
 }
 
+/// Maps `f` over the index range `0..len`, fanning out across up to
+/// `threads` scoped threads. Results come back in index order, so the
+/// output is bit-identical to `(0..len).map(f).collect()` for every
+/// thread count. The index-based shape lets callers read shared
+/// structure-of-arrays state (e.g. the farm's server slab) without first
+/// collecting a `Vec` of references — the per-round fan-outs of the
+/// control plane use this to stay allocation-free on the input side.
+pub fn par_map_range<R, F>(len: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.clamp(1, len.max(1));
+    if threads == 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let f = &f;
+    let mut out = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(len);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("par_map_range worker panicked"));
+        }
+    });
+    out
+}
+
 /// Maps `f` over a mutable slice, fanning out across up to `threads`
 /// scoped threads. Results come back in input order, so the output is
 /// independent of the thread count (see [`par_map`]).
@@ -137,6 +171,15 @@ mod tests {
             par_for_each_mut(&mut items, threads, |x| *x += 1000);
             assert!(items.iter().enumerate().all(|(i, &x)| x == i as u64 + 1000));
         }
+    }
+
+    #[test]
+    fn par_map_range_matches_sequential() {
+        let seq: Vec<usize> = (0..257).map(|i| i * 7 + 3).collect();
+        for threads in [1, 2, 3, 8, 300] {
+            assert_eq!(par_map_range(257, threads, |i| i * 7 + 3), seq);
+        }
+        assert!(par_map_range(0, 4, |i| i).is_empty());
     }
 
     #[test]

@@ -10,41 +10,53 @@
 //! The multi-threaded rack-/room-worker deployment of §5 lives in
 //! [`crate::workers`]; it produces the same decisions, distributed.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
-use capmaestro_server::{SensorSnapshot, Server};
+use capmaestro_server::{SensorSnapshot, Server, ServerMut, ServerRef, ServerSlab};
 use capmaestro_topology::{FeedId, ServerId, SupplyIndex};
 use capmaestro_units::{Seconds, Watts};
 
 use crate::capping::CappingController;
 use crate::estimator::{DemandEstimator, SampleFate};
 use crate::obs::{names, null_recorder, PhaseTimer, Recorder, RoundPhase};
-use crate::par::{par_for_each_mut, par_map, par_map_mut};
+use crate::par::{par_for_each_mut, par_map, par_map_mut, par_map_range};
 use crate::policy::{CappingPolicy, PolicyKind};
 use crate::spo::{optimize_stranded_power_in, optimize_stranded_power_par, SpoScratch};
 use crate::tree::{Allocation, ControlTree, SupplyInput, TreeRoundState};
 
 /// The population of servers under management, keyed by id.
 ///
-/// A thin deterministic container (ordered map) so experiments iterate
-/// servers in stable order. The farm also carries the thread-count knob
-/// for the per-second hot path: [`Farm::set_parallelism`] shards
-/// [`Farm::step_all`], the sensing sweeps, and the control plane's
-/// estimate phase across scoped threads. Results are bit-identical for
-/// every thread count — servers are independent and all outputs stay in
-/// id order.
+/// Per-server state lives in a struct-of-arrays [`ServerSlab`] (sorted id
+/// lane + state lanes), so the per-second hot path sweeps contiguous
+/// memory instead of chasing a map of boxed servers. Accessors hand out
+/// [`ServerRef`] / [`ServerMut`] views that mirror the old `&Server` /
+/// `&mut Server` surface; iteration order is id order, as before.
+///
+/// The farm carries the thread-count knob for the per-second hot path:
+/// [`Farm::set_parallelism`] shards [`Farm::step_all`] and the sensing
+/// sweeps across scoped threads at 64-server bitmap-word boundaries, and
+/// the control plane's estimate phase fans out the same way. Stepping is
+/// **event-driven** by default: servers at the exact `f64` fixed point of
+/// their settling filter are skipped (see [`ServerSlab`]), which is a
+/// bitwise no-op by construction. Results are bit-identical for every
+/// thread count and for event-driven on/off — servers are independent and
+/// all outputs stay in id order.
 #[derive(Debug)]
 pub struct Farm {
-    servers: BTreeMap<ServerId, Server>,
+    /// Sorted server ids; position i maps to slab slot i.
+    ids: Vec<ServerId>,
+    slab: ServerSlab,
     parallelism: usize,
 }
 
 impl Default for Farm {
     fn default() -> Self {
         Farm {
-            servers: BTreeMap::new(),
+            ids: Vec::new(),
+            slab: ServerSlab::new(),
             parallelism: 1,
         }
     }
@@ -68,77 +80,220 @@ impl Farm {
         self.parallelism
     }
 
+    /// Enables or disables event-driven stepping (on by default).
+    /// Disabling forces every server to be stepped every tick — the
+    /// sequential full-rebuild reference path the differential tests
+    /// compare against. Trajectories are bitwise identical either way.
+    pub fn set_event_driven(&mut self, enabled: bool) {
+        self.slab.set_event_driven(enabled);
+    }
+
+    /// Whether event-driven stepping is enabled.
+    pub fn event_driven(&self) -> bool {
+        self.slab.event_driven()
+    }
+
     /// Adds (or replaces) a server.
     pub fn insert(&mut self, id: ServerId, server: Server) {
-        self.servers.insert(id, server);
+        match self.ids.binary_search(&id) {
+            Ok(pos) => self.slab.replace(pos, server),
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                self.slab.insert(pos, server);
+            }
+        }
     }
 
     /// Borrows a server.
-    pub fn get(&self, id: ServerId) -> Option<&Server> {
-        self.servers.get(&id)
+    pub fn get(&self, id: ServerId) -> Option<ServerRef<'_>> {
+        self.index_of(id).map(|i| self.slab.view(i))
     }
 
     /// Mutably borrows a server.
-    pub fn get_mut(&mut self, id: ServerId) -> Option<&mut Server> {
-        self.servers.get_mut(&id)
+    pub fn get_mut(&mut self, id: ServerId) -> Option<ServerMut<'_>> {
+        self.index_of(id).map(|i| self.slab.view_mut(i))
+    }
+
+    /// The slot index of a server id, if present (slots are id-ordered
+    /// and stable until an insert of a new id).
+    pub fn index_of(&self, id: ServerId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// The managed server ids, sorted (slot i holds `ids()[i]`).
+    pub fn ids(&self) -> &[ServerId] {
+        &self.ids
+    }
+
+    /// Borrows the server in slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn server_at(&self, idx: usize) -> ServerRef<'_> {
+        self.slab.view(idx)
     }
 
     /// Number of servers.
     pub fn len(&self) -> usize {
-        self.servers.len()
+        self.ids.len()
     }
 
     /// Whether the farm is empty.
     pub fn is_empty(&self) -> bool {
-        self.servers.is_empty()
+        self.ids.is_empty()
     }
 
     /// Iterates `(id, server)` in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (ServerId, &Server)> + '_ {
-        self.servers.iter().map(|(&id, s)| (id, s))
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, ServerRef<'_>)> + '_ {
+        (0..self.ids.len()).map(move |i| (self.ids[i], self.slab.view(i)))
     }
 
-    /// Iterates `(id, server)` mutably in id order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ServerId, &mut Server)> + '_ {
-        self.servers.iter_mut().map(|(&id, s)| (id, s))
+    /// Visits every server mutably in id order as
+    /// `(slot index, id, view)` — the replacement for the old `iter_mut`
+    /// (mutable views borrow the whole slab, so they cannot be yielded by
+    /// a `std` iterator).
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(usize, ServerId, ServerMut<'_>)) {
+        for i in 0..self.ids.len() {
+            f(i, self.ids[i], self.slab.view_mut(i));
+        }
     }
 
-    /// Advances every server by `dt`, sharded across the configured
-    /// thread count.
+    /// Advances every server by `dt`, event-driven (quiescent servers are
+    /// skipped bit-exactly) and sharded across the configured thread
+    /// count.
     pub fn step_all(&mut self, dt: Seconds) {
+        self.slab.begin_step(dt);
         let threads = self.parallelism;
         if threads <= 1 {
-            for server in self.servers.values_mut() {
-                server.step(dt);
-            }
-            return;
+            self.slab.full_shard().step(dt);
+        } else {
+            let mut shards = self.slab.shards_mut(threads);
+            par_for_each_mut(&mut shards, threads, |shard| shard.step(dt));
         }
-        let mut refs: Vec<&mut Server> = self.servers.values_mut().collect();
-        par_for_each_mut(&mut refs, threads, |server| {
-            server.step(dt);
-        });
     }
 
     /// Reads every server's sensors, in id order, sharded across the
-    /// configured thread count.
+    /// configured thread count. Allocates the result vector; hot-path
+    /// callers should prefer [`Farm::sense_into`].
     pub fn sense_all(&self) -> Vec<(ServerId, SensorSnapshot)> {
-        let entries: Vec<(ServerId, &Server)> = self.iter().collect();
-        par_map(&entries, self.parallelism, |&(id, server)| {
-            (id, server.sense())
+        let n = self.ids.len();
+        if self.parallelism <= 1 {
+            return self.iter().map(|(id, s)| (id, s.sense())).collect();
+        }
+        par_map_range(n, self.parallelism, |i| {
+            (self.ids[i], self.slab.view(i).sense())
         })
     }
 
-    /// Advances every server by `dt` and reads its sensors in the same
-    /// sweep — the fused per-second hot path of the simulation engine
-    /// (one fan-out instead of two, and downstream consumers share the
-    /// snapshots instead of re-sensing). Returns snapshots in id order.
-    pub fn step_and_sense_all(&mut self, dt: Seconds) -> Vec<(ServerId, SensorSnapshot)> {
+    /// Refreshes the slab's cached snapshots (only stale ones are
+    /// recomputed) and syncs `buf` to them, reusing its allocations — the
+    /// zero-steady-state-allocation replacement for [`Farm::sense_all`].
+    pub fn sense_into(&mut self, buf: &mut SenseBuffer) {
+        self.refresh_snaps();
+        self.sync_buffer(buf);
+    }
+
+    /// Advances every server by `dt` and syncs `buf` to the refreshed
+    /// snapshots in the same sweep — the fused per-second hot path of the
+    /// simulation engine. Quiescent servers cost ~zero: no stepping
+    /// arithmetic, no re-sensing, no buffer write.
+    pub fn step_and_sense_into(&mut self, dt: Seconds, buf: &mut SenseBuffer) {
+        self.slab.begin_step(dt);
+        self.slab.begin_refresh();
         let threads = self.parallelism;
-        let mut entries: Vec<(ServerId, &mut Server)> = self.iter_mut().collect();
-        par_map_mut(&mut entries, threads, |(id, server)| {
-            server.step(dt);
-            (*id, server.sense())
-        })
+        if threads <= 1 {
+            let mut shard = self.slab.full_shard();
+            shard.step(dt);
+            shard.refresh();
+        } else {
+            let mut shards = self.slab.shards_mut(threads);
+            par_for_each_mut(&mut shards, threads, |shard| {
+                shard.step(dt);
+                shard.refresh();
+            });
+        }
+        self.sync_buffer(buf);
+    }
+
+    /// Advances every server by `dt` and reads its sensors in the same
+    /// sweep, returning snapshots in id order. Allocates the result
+    /// vector; hot-path callers should prefer
+    /// [`Farm::step_and_sense_into`].
+    pub fn step_and_sense_all(&mut self, dt: Seconds) -> Vec<(ServerId, SensorSnapshot)> {
+        let mut buf = SenseBuffer::new();
+        self.step_and_sense_into(dt, &mut buf);
+        buf.entries
+    }
+
+    /// Refreshes every stale cached snapshot, sharded.
+    fn refresh_snaps(&mut self) {
+        self.slab.begin_refresh();
+        let threads = self.parallelism;
+        if threads <= 1 {
+            self.slab.full_shard().refresh();
+        } else {
+            let mut shards = self.slab.shards_mut(threads);
+            par_for_each_mut(&mut shards, threads, |shard| shard.refresh());
+        }
+    }
+
+    /// Syncs a [`SenseBuffer`] to the slab's (just-refreshed) snapshot
+    /// cache: a full rebuild when the farm's slot layout changed since the
+    /// buffer last synced, otherwise `clone_from` on exactly the entries
+    /// whose snapshots changed — allocation-free in the steady state.
+    fn sync_buffer(&self, buf: &mut SenseBuffer) {
+        let n = self.ids.len();
+        if buf.layout_gen != self.slab.layout_generation() {
+            buf.entries.clear();
+            buf.entries.extend(
+                (0..n).map(|i| (self.ids[i], self.slab.snapshot(i).clone())),
+            );
+            buf.layout_gen = self.slab.layout_generation();
+        } else {
+            for i in 0..n {
+                if self.slab.changed_since(i, buf.seen_gen) {
+                    buf.entries[i].1.clone_from(self.slab.snapshot(i));
+                }
+            }
+        }
+        buf.seen_gen = self.slab.generation();
+    }
+}
+
+/// A reusable sensing scratch buffer: `(id, snapshot)` entries in id
+/// order, kept in sync with one [`Farm`] by [`Farm::sense_into`] /
+/// [`Farm::step_and_sense_into`] with zero steady-state allocation.
+///
+/// A buffer belongs to the farm it was first synced against — syncing it
+/// against a different farm is a logic error (the change-tracking
+/// generations would not line up).
+#[derive(Debug, Default)]
+pub struct SenseBuffer {
+    entries: Vec<(ServerId, SensorSnapshot)>,
+    /// Highest slab refresh generation this buffer has absorbed.
+    seen_gen: u64,
+    /// Slab layout generation the entry layout was built from.
+    layout_gen: u64,
+}
+
+impl SenseBuffer {
+    /// Creates an empty buffer (first sync does a full rebuild).
+    pub fn new() -> Self {
+        SenseBuffer::default()
+    }
+
+    /// The synced `(id, snapshot)` entries, in id order.
+    pub fn entries(&self) -> &[(ServerId, SensorSnapshot)] {
+        &self.entries
+    }
+
+    /// Mutable access to the entries, for callers that overwrite
+    /// individual readings after a sync (e.g. re-sensing breaker-trip
+    /// victims). Overwrites are transient: they survive until the
+    /// corresponding server next changes in the farm.
+    pub fn entries_mut(&mut self) -> &mut [(ServerId, SensorSnapshot)] {
+        &mut self.entries
     }
 }
 
@@ -465,6 +620,9 @@ pub enum BudgetSource {
 struct RoundContext {
     stale: HashSet<ServerId>,
     demands: HashMap<ServerId, Watts>,
+    /// Sensing scratch for [`ControlPlane::sample`] — reused every second
+    /// so steady-state sampling allocates nothing.
+    snaps: SenseBuffer,
     root_budgets: Vec<Watts>,
     /// Scratch for the [`BudgetSource::SharedPerPhase`] resolution.
     tree_demands: Vec<Watts>,
@@ -487,6 +645,7 @@ impl Default for RoundContext {
         RoundContext {
             stale: HashSet::new(),
             demands: HashMap::new(),
+            snaps: SenseBuffer::new(),
             root_budgets: Vec::new(),
             tree_demands: Vec::new(),
             phase_members: Vec::new(),
@@ -903,6 +1062,18 @@ impl ControlPlane {
         self.record_snapshots(farm, &farm.sense_all());
     }
 
+    /// Records one per-second sensor sample for every server, like
+    /// [`ControlPlane::record_sample`], but sensing through the farm's
+    /// snapshot cache into a plane-owned scratch buffer: quiescent servers
+    /// are not re-sensed and the steady state performs **no heap
+    /// allocation** (the `alloc --smoke` gate covers this path).
+    pub fn sample(&mut self, farm: &mut Farm) {
+        let mut buf = std::mem::take(&mut self.ctx.snaps);
+        farm.sense_into(&mut buf);
+        self.record_snapshots(farm, buf.entries());
+        self.ctx.snaps = buf;
+    }
+
     /// Feeds already-delivered sensor snapshots to the demand estimators —
     /// the path for callers (like the simulation engine) that sensed the
     /// farm this second anyway, possibly through a fault-injecting
@@ -949,7 +1120,13 @@ impl ControlPlane {
             for (((id, snap), est), fate) in snaps.iter().zip(ests).zip(fates) {
                 self.estimators.insert(*id, est);
                 if fate == SampleFate::Accepted {
-                    self.telemetry.insert(*id, snap.clone());
+                    // clone_from reuses the stored snapshot's allocations.
+                    match self.telemetry.entry(*id) {
+                        Entry::Occupied(mut e) => e.get_mut().clone_from(snap),
+                        Entry::Vacant(e) => {
+                            e.insert(snap.clone());
+                        }
+                    }
                     self.fresh.insert(*id);
                 }
             }
@@ -971,7 +1148,13 @@ impl ControlPlane {
                 }
             };
             if fate == SampleFate::Accepted {
-                self.telemetry.insert(*id, snap.clone());
+                // clone_from reuses the stored snapshot's allocations.
+                match self.telemetry.entry(*id) {
+                    Entry::Occupied(mut e) => e.get_mut().clone_from(snap),
+                    Entry::Vacant(e) => {
+                        e.insert(snap.clone());
+                    }
+                }
                 self.fresh.insert(*id);
             }
         }
@@ -1062,7 +1245,7 @@ impl ControlPlane {
         //    estimator cleared — whatever the window held predates the
         //    outage, and an empty window lets `estimate_with_idle` rebuild
         //    the demand from the first post-recovery samples.
-        for (id, _) in farm.iter() {
+        for &id in farm.ids() {
             if self.fresh.contains(&id) {
                 self.stale_rounds.insert(id, 0);
             } else {
@@ -1111,11 +1294,13 @@ impl ControlPlane {
                 self.ctx.demands.insert(id, demand);
             }
         } else {
-            let entries: Vec<(ServerId, &Server)> = farm.iter().collect();
+            let farm_ref = &*farm;
             let estimators = &self.estimators;
             let telemetry = &self.telemetry;
             let stale_ref = &self.ctx.stale;
-            let computed = par_map(&entries, threads, |&(id, server)| {
+            let computed = par_map_range(farm_ref.len(), threads, |i| {
+                let id = farm_ref.ids()[i];
+                let server = farm_ref.server_at(i);
                 let model = server.config().model();
                 if stale_ref.contains(&id) {
                     let demand = fail_safe
@@ -1322,22 +1507,24 @@ impl ControlPlane {
                 .map(|&(tree, slot)| allocations[tree as usize].leaf_budget(slot as usize))
         };
         dc_caps.clear();
+        let controllers = &mut self.controllers;
+        let telemetry = &self.telemetry;
         if threads <= 1 {
-            for (id, server) in farm.iter_mut() {
+            farm.for_each_mut(|_, id, mut server| {
                 let model = server.config().model();
                 if stale.contains(&id) {
                     let demand_ac = fail_safe
                         .unwrap_or_else(|| model.cap_min())
                         .clamp(model.cap_min(), model.cap_max());
                     let efficiency = server.bank().efficiency();
-                    let controller = self.controllers.entry(id).or_insert_with(|| {
+                    let controller = controllers.entry(id).or_insert_with(|| {
                         CappingController::new(model.cap_min(), model.cap_max(), efficiency)
                     });
                     let cap = controller.force_dc_cap(demand_ac * efficiency);
                     server.set_dc_cap(cap);
                     dc_caps.insert(id, cap);
                     failsafe_caps += 1;
-                    continue;
+                    return;
                 }
                 // Count the working supplies an allocation covers; servers
                 // outside every tree keep their previous cap, exactly like
@@ -1352,14 +1539,14 @@ impl ControlPlane {
                     }
                 }
                 if covered == 0 {
-                    continue;
+                    return;
                 }
                 let mut fallback = None;
-                let snap: &SensorSnapshot = match self.telemetry.get(&id) {
+                let snap: &SensorSnapshot = match telemetry.get(&id) {
                     Some(snap) => snap,
                     None => fallback.get_or_insert_with(|| server.sense()),
                 };
-                let controller = self.controllers.entry(id).or_insert_with(|| {
+                let controller = controllers.entry(id).or_insert_with(|| {
                     CappingController::new(
                         model.cap_min(),
                         model.cap_max(),
@@ -1381,13 +1568,14 @@ impl ControlPlane {
                 );
                 server.set_dc_cap(cap);
                 dc_caps.insert(id, cap);
-            }
+            });
         } else {
-            let entries: Vec<(ServerId, &Server)> = farm.iter().collect();
-            let telemetry = &self.telemetry;
+            let farm_ref = &*farm;
             let stale_ref = &*stale;
-            let sensed: Vec<Option<(Vec<Watts>, Vec<Watts>)>> =
-                par_map(&entries, threads, |&(id, server)| {
+            let mut sensed: Vec<Option<(Vec<Watts>, Vec<Watts>)>> =
+                par_map_range(farm_ref.len(), threads, |i| {
+                    let id = farm_ref.ids()[i];
+                    let server = farm_ref.server_at(i);
                     if stale_ref.contains(&id) {
                         return None;
                     }
@@ -1413,27 +1601,27 @@ impl ControlPlane {
                         Some((budgets, measured))
                     }
                 });
-            drop(entries);
-            for ((id, server), work) in farm.iter_mut().zip(sensed) {
+            farm.for_each_mut(|idx, id, mut server| {
+                let work = sensed[idx].take();
                 let model = server.config().model();
                 if stale.contains(&id) {
                     let demand_ac = fail_safe
                         .unwrap_or_else(|| model.cap_min())
                         .clamp(model.cap_min(), model.cap_max());
                     let efficiency = server.bank().efficiency();
-                    let controller = self.controllers.entry(id).or_insert_with(|| {
+                    let controller = controllers.entry(id).or_insert_with(|| {
                         CappingController::new(model.cap_min(), model.cap_max(), efficiency)
                     });
                     let cap = controller.force_dc_cap(demand_ac * efficiency);
                     server.set_dc_cap(cap);
                     dc_caps.insert(id, cap);
                     failsafe_caps += 1;
-                    continue;
+                    return;
                 }
                 let Some((budgets, measured)) = work else {
-                    continue;
+                    return;
                 };
-                let controller = self.controllers.entry(id).or_insert_with(|| {
+                let controller = controllers.entry(id).or_insert_with(|| {
                     CappingController::new(
                         model.cap_min(),
                         model.cap_max(),
@@ -1443,7 +1631,7 @@ impl ControlPlane {
                 let cap = controller.update(&budgets, &measured);
                 server.set_dc_cap(cap);
                 dc_caps.insert(id, cap);
-            }
+            });
         }
         drop(enforce_timer);
         if failsafe_caps > 0 || recorder.enabled() {
@@ -1494,6 +1682,49 @@ mod tests {
             }
             plane.round(farm);
         }
+    }
+
+    /// The zero-alloc sense path: a buffer synced against a quiescent
+    /// farm must not re-copy entries (no allocation, no writes), and a
+    /// re-copy after a real change must reuse the entry's existing
+    /// heap allocations.
+    #[test]
+    fn sense_buffer_sync_is_incremental_and_reuses_allocations() {
+        let (topo, mut farm, _) = fig2_plane(PolicyKind::GlobalPriority);
+        let mut buf = SenseBuffer::new();
+        farm.sense_into(&mut buf);
+        assert_eq!(buf.entries().len(), farm.len());
+        let fresh = farm.sense_all();
+        assert_eq!(buf.entries(), fresh.as_slice());
+
+        // Corrupt one synced entry, then sync again with nothing changed
+        // in the farm: the corruption must survive, proving the sync
+        // skipped the (unchanged) entry instead of re-copying it.
+        let sentinel = Watts::new(-12345.0);
+        buf.entries_mut()[0].1.total_ac = sentinel;
+        farm.sense_into(&mut buf);
+        assert_eq!(buf.entries()[0].1.total_ac, sentinel);
+
+        // Change that server for real: the next sync re-copies its entry
+        // (overwriting the sentinel) while reusing the entry's per-supply
+        // heap allocation rather than re-allocating it.
+        let sa = topo.server_by_name("SA").unwrap();
+        let slot = farm.index_of(sa).unwrap();
+        let ptr_before = buf.entries()[slot].1.supply_ac.as_ptr();
+        farm.get_mut(sa).unwrap().set_offered_demand(Watts::new(260.0));
+        farm.get_mut(sa).unwrap().settle();
+        farm.sense_into(&mut buf);
+        assert_ne!(buf.entries()[slot].1.total_ac, sentinel);
+        assert_eq!(
+            buf.entries()[slot].1,
+            farm.get(sa).unwrap().sense(),
+            "re-copied entry must match a fresh sense"
+        );
+        assert_eq!(
+            buf.entries()[slot].1.supply_ac.as_ptr(),
+            ptr_before,
+            "re-copy must reuse the entry's existing allocation"
+        );
     }
 
     /// The deprecated `run_round`/`run_round_cached` aliases must keep
@@ -1656,12 +1887,12 @@ mod tests {
         // report's index must rebuild rather than serve stale slots.
         plane.fail_feed(FeedId::B);
         plane.set_root_budgets(vec![Watts::new(1400.0)]);
-        for (_, server) in farm.iter_mut() {
+        farm.for_each_mut(|_, _, mut server| {
             let bank = server.bank_mut();
             if bank.len() == 2 {
                 bank.fail_supply(1);
             }
-        }
+        });
         plane.record_sample(&farm);
         let report = plane.round(&mut farm).clone();
         check(&report, &servers, "post-failover round");
@@ -1732,12 +1963,12 @@ mod tests {
         // Now feed B dies: the survivor inherits the whole 1400 W without
         // any operator action.
         plane.fail_feed(FeedId::B);
-        for (_, server) in farm.iter_mut() {
+        farm.for_each_mut(|_, _, mut server| {
             let bank = server.bank_mut();
             if bank.len() == 2 {
                 bank.fail_supply(1);
             }
-        }
+        });
         plane.record_sample(&farm);
         let report = plane.round(&mut farm).clone();
         let total_after: Watts = report

@@ -828,7 +828,7 @@ fn rack_worker_loop(
                 // Enforce caps on our servers.
                 let mut farm = farm.write();
                 for (&server, supply_budgets) in &round_budgets {
-                    let Some(srv) = farm.get_mut(server) else {
+                    let Some(mut srv) = farm.get_mut(server) else {
                         continue;
                     };
                     let snap = srv.sense();

@@ -41,6 +41,8 @@ pub mod partitions;
 pub mod power_model;
 pub mod psu;
 mod server;
+#[deny(clippy::large_stack_arrays, clippy::needless_collect)]
+pub mod slab;
 pub mod telemetry;
 
 pub use node_manager::NodeManager;
@@ -48,4 +50,5 @@ pub use partitions::{PartitionSet, VirtualPartition};
 pub use power_model::{PowerCurve, ServerPowerModel};
 pub use psu::{PowerSupply, PsuBank, SupplyState};
 pub use server::{SensorSnapshot, Server, ServerConfig};
+pub use slab::{ServerMut, ServerRef, ServerSlab, SlabShard};
 pub use telemetry::{CleanSensePath, SenseInterposer};

@@ -301,6 +301,14 @@ impl PsuBank {
             .collect()
     }
 
+    /// Writes the per-supply AC input powers into `out` without allocating
+    /// (beyond growing `out` to the bank size once) — same values as
+    /// [`PsuBank::ac_loads`], for callers on the per-second hot path.
+    pub fn ac_loads_into(&self, total_ac: Watts, out: &mut Vec<Watts>) {
+        out.clear();
+        out.extend(self.effective_shares_iter().map(|r| total_ac * r));
+    }
+
     /// The bank-level AC→DC efficiency: the load-share-weighted mean of the
     /// carrying supplies' efficiencies (equals the common `k` when supplies
     /// are identical).

@@ -105,7 +105,7 @@ impl ServerConfig {
 
 /// One IPMI-equivalent sensor reading (paper §5: per-second reads of the
 /// per-supply AC power monitors and the power-cap throttling level).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct SensorSnapshot {
     /// AC input power of each supply, indexed like the bank.
     pub supply_ac: Vec<Watts>,
@@ -116,6 +116,114 @@ pub struct SensorSnapshot {
     /// Power-cap throttling level: 0 = full performance, 1 = maximally
     /// throttled.
     pub throttle: Ratio,
+}
+
+impl SensorSnapshot {
+    /// An all-zero reading with no per-supply entries — the placeholder the
+    /// slab cache starts from before the first refresh.
+    pub(crate) fn empty() -> Self {
+        SensorSnapshot {
+            supply_ac: Vec::new(),
+            total_ac: Watts::ZERO,
+            dc_power: Watts::ZERO,
+            throttle: Ratio::ZERO,
+        }
+    }
+}
+
+// Manual impl so `clone_from` reuses the `supply_ac` allocation — the
+// derived impl would fall back to a fresh clone, breaking the zero-alloc
+// steady-state discipline of the sense scratch buffers.
+impl Clone for SensorSnapshot {
+    fn clone(&self) -> Self {
+        SensorSnapshot {
+            supply_ac: self.supply_ac.clone(),
+            total_ac: self.total_ac,
+            dc_power: self.dc_power,
+            throttle: self.throttle,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.supply_ac.clone_from(&source.supply_ac);
+        self.total_ac = source.total_ac;
+        self.dc_power = source.dc_power;
+        self.throttle = source.throttle;
+    }
+}
+
+/// Per-server physics shared between [`Server`] and the SoA slab
+/// ([`crate::slab`]). Keeping a single copy of the arithmetic is what makes
+/// the slab stepping path bitwise-identical to the reference path by
+/// construction.
+pub(crate) mod physics {
+    use super::{NodeManager, PsuBank, Ratio, SensorSnapshot, ServerPowerModel, Watts};
+
+    /// Clamps an offered demand into the model envelope `[idle, Pcap_max]`.
+    pub(crate) fn clamp_demand(model: ServerPowerModel, demand: Watts) -> Watts {
+        demand.clamp(model.idle(), model.cap_max())
+    }
+
+    /// The lowest AC power throttling can reach for a given offered demand.
+    pub(crate) fn min_achievable_ac(model: ServerPowerModel, demand: Watts) -> Watts {
+        let dyn_demand = (demand - model.idle()).clamp_non_negative();
+        let floor_scale =
+            (model.cap_min() - model.idle()) / (model.cap_max() - model.idle());
+        model.idle() + dyn_demand * floor_scale
+    }
+
+    /// The AC power the node manager steers toward under the current cap
+    /// and demand.
+    pub(crate) fn target_ac(
+        model: ServerPowerModel,
+        node_manager: &NodeManager,
+        bank: &PsuBank,
+        offered_ac: Watts,
+    ) -> Watts {
+        match node_manager.ac_cap(bank.efficiency()) {
+            None => offered_ac,
+            Some(cap_ac) => {
+                if offered_ac <= cap_ac {
+                    offered_ac
+                } else {
+                    // The cap binds; it cannot push below the throttling
+                    // floor for this workload.
+                    cap_ac.max(min_achievable_ac(model, offered_ac))
+                }
+            }
+        }
+    }
+
+    /// The power-cap throttling level for an offered/achieved pair.
+    pub(crate) fn throttle(
+        model: ServerPowerModel,
+        offered_ac: Watts,
+        achieved_ac: Watts,
+    ) -> Ratio {
+        let idle = model.idle();
+        let dyn_demand = (offered_ac - idle).clamp_non_negative();
+        if dyn_demand <= Watts::ZERO {
+            return Ratio::ZERO;
+        }
+        let dyn_achieved = (achieved_ac - idle).clamp_non_negative();
+        Ratio::new_clamped(1.0 - dyn_achieved / dyn_demand)
+    }
+
+    /// Refreshes `snap` in place from the server's current state, reusing
+    /// the snapshot's `supply_ac` allocation. Values are bitwise-identical
+    /// to [`super::Server::sense`].
+    pub(crate) fn sense_into(
+        model: ServerPowerModel,
+        bank: &PsuBank,
+        offered_ac: Watts,
+        achieved_ac: Watts,
+        snap: &mut SensorSnapshot,
+    ) {
+        bank.ac_loads_into(achieved_ac, &mut snap.supply_ac);
+        snap.total_ac = achieved_ac;
+        snap.dc_power = bank.dc_for_total_ac(achieved_ac);
+        snap.throttle = throttle(model, offered_ac, achieved_ac);
+    }
 }
 
 /// A simulated server under node-manager power capping.
@@ -174,8 +282,7 @@ impl Server {
     /// full performance). Clamped into the model envelope
     /// `[idle, Pcap_max]`.
     pub fn set_offered_demand(&mut self, demand: Watts) {
-        let m = self.config.model();
-        self.offered_ac = demand.clamp(m.idle(), m.cap_max());
+        self.offered_ac = physics::clamp_demand(self.config.model(), demand);
     }
 
     /// Sets the offered demand from a CPU utilization via the power curve.
@@ -213,27 +320,18 @@ impl Server {
     /// `(Pcap_min − idle) / (Pcap_max − idle)`; lighter workloads bottom
     /// out proportionally higher than `Pcap_min` only in dynamic terms.
     pub fn min_achievable_ac(&self, demand: Watts) -> Watts {
-        let m = self.config.model();
-        let dyn_demand = (demand - m.idle()).clamp_non_negative();
-        let floor_scale = (m.cap_min() - m.idle()) / (m.cap_max() - m.idle());
-        m.idle() + dyn_demand * floor_scale
+        physics::min_achievable_ac(self.config.model(), demand)
     }
 
     /// The AC power the node manager steers toward under the current cap
     /// and demand.
     fn target_ac(&self) -> Watts {
-        match self.node_manager.ac_cap(self.bank.efficiency()) {
-            None => self.offered_ac,
-            Some(cap_ac) => {
-                if self.offered_ac <= cap_ac {
-                    self.offered_ac
-                } else {
-                    // The cap binds; it cannot push below the throttling
-                    // floor for this workload.
-                    cap_ac.max(self.min_achievable_ac(self.offered_ac))
-                }
-            }
-        }
+        physics::target_ac(
+            self.config.model(),
+            &self.node_manager,
+            &self.bank,
+            self.offered_ac,
+        )
     }
 
     /// Whether the server currently has input power.
@@ -279,13 +377,7 @@ impl Server {
     /// The power-cap throttling level: the fraction of dynamic power
     /// removed relative to the offered demand.
     pub fn throttle(&self) -> Ratio {
-        let idle = self.config.model().idle();
-        let dyn_demand = (self.offered_ac - idle).clamp_non_negative();
-        if dyn_demand <= Watts::ZERO {
-            return Ratio::ZERO;
-        }
-        let dyn_achieved = (self.achieved_ac - idle).clamp_non_negative();
-        Ratio::new_clamped(1.0 - dyn_achieved / dyn_demand)
+        physics::throttle(self.config.model(), self.offered_ac, self.achieved_ac)
     }
 
     /// Achieved application performance as a fraction of uncapped
@@ -309,6 +401,22 @@ impl Server {
         } else {
             Watts::ZERO
         };
+    }
+
+    /// Decomposes the server into its state lanes for slab storage
+    /// (`config`, live `bank`, live `node_manager`, `offered_ac`,
+    /// `achieved_ac`, `powered`).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (ServerConfig, PsuBank, NodeManager, Watts, Watts, bool) {
+        (
+            self.config,
+            self.bank,
+            self.node_manager,
+            self.offered_ac,
+            self.achieved_ac,
+            self.powered,
+        )
     }
 }
 

@@ -100,14 +100,53 @@ const RESPONSE_THRESHOLD: Watts = Watts::new(5.0);
 /// participate in the comparison; outlet leaves are excluded since a leaf
 /// meter would make the audit trivial.
 pub fn audit_wiring(declared: &Topology, actual: &Topology, farm: &mut Farm) -> AuditReport {
+    let mut tracker = InvariantTracker::new(InvariantConfig::default());
+    audit_wiring_tracked(declared, actual, farm, &mut tracker)
+}
+
+/// Like [`audit_wiring`], but records probe-integrity problems into
+/// `tracker` instead of trusting the caller's setup. A probe whose
+/// preconditions do not hold — a declared attachment on a feed the
+/// declaration itself lacks, or a declared server absent from the farm —
+/// is **skipped** and logged as an [`InvariantKind::ProbeIntegrity`]
+/// violation rather than panicking the audit: a live auditor must survive
+/// a declaration that disagrees with the fleet inventory, since such
+/// disagreement is precisely the class of error it exists to find.
+///
+/// The probe sweep covers the union of the farm's servers and the
+/// declaration's attached servers, so a server that is declared but was
+/// never racked surfaces as a violation instead of silently passing.
+pub fn audit_wiring_tracked(
+    declared: &Topology,
+    actual: &Topology,
+    farm: &mut Farm,
+    tracker: &mut InvariantTracker,
+) -> AuditReport {
     let mut report = AuditReport::default();
-    let servers: Vec<ServerId> = farm.iter().map(|(id, _)| id).collect();
+    let mut servers: Vec<ServerId> = farm.iter().map(|(id, _)| id).collect();
+    for graph in declared.feeds() {
+        servers.extend(graph.outlets().map(|(_, o)| o.server));
+    }
+    servers.sort_unstable();
+    servers.dedup();
 
     for server in servers {
         // Expected responders: metered ancestors per the declaration.
         let mut expected: Vec<(FeedId, String)> = Vec::new();
+        let mut skip = false;
         for (feed, node, _) in declared.supply_attachments(server) {
-            let graph = declared.feed(feed).expect("declared feed");
+            let Some(graph) = declared.feed(feed) else {
+                tracker.record(
+                    0,
+                    InvariantKind::ProbeIntegrity,
+                    format!(
+                        "declared attachment of {server:?} names feed \
+                         {feed:?} absent from the declaration; probe skipped"
+                    ),
+                );
+                skip = true;
+                continue;
+            };
             for ancestor in graph.path_to_root(node) {
                 let device = graph.device(ancestor);
                 if device.effective_limit().is_some() {
@@ -115,23 +154,38 @@ pub fn audit_wiring(declared: &Topology, actual: &Topology, farm: &mut Farm) -> 
                 }
             }
         }
+        if skip {
+            continue;
+        }
         expected.sort();
         expected.dedup();
 
         // Probe: drop the server to idle, observe the metered deltas on
         // the *actual* wiring.
+        if farm.get(server).is_none() {
+            tracker.record(
+                0,
+                InvariantKind::ProbeIntegrity,
+                format!(
+                    "{server:?} is declared but absent from the farm; \
+                     probe skipped"
+                ),
+            );
+            continue;
+        }
         let baseline = node_loads(actual, farm);
-        let (prev_demand, was_powered) = {
-            let srv = farm.get_mut(server).expect("probed server exists");
+        let Some((prev_demand, was_powered)) = farm.get_mut(server).map(|mut srv| {
             let prev = srv.offered_demand();
             let powered = srv.is_powered();
-            srv.set_offered_demand(srv.config().model().idle());
+            let idle = srv.config().model().idle();
+            srv.set_offered_demand(idle);
             srv.settle();
             (prev, powered)
+        }) else {
+            continue;
         };
         let probed = node_loads(actual, farm);
-        {
-            let srv = farm.get_mut(server).expect("probed server exists");
+        if let Some(mut srv) = farm.get_mut(server) {
             srv.set_offered_demand(prev_demand);
             srv.set_powered(was_powered);
             srv.settle();
@@ -139,7 +193,17 @@ pub fn audit_wiring(declared: &Topology, actual: &Topology, farm: &mut Farm) -> 
 
         let mut observed: Vec<(FeedId, String)> = Vec::new();
         for (key @ (feed, node), base) in &baseline {
-            let graph = actual.feed(*feed).expect("actual feed");
+            let Some(graph) = actual.feed(*feed) else {
+                tracker.record(
+                    0,
+                    InvariantKind::ProbeIntegrity,
+                    format!(
+                        "metered node on feed {feed:?} has no graph in the \
+                         actual topology; meter ignored"
+                    ),
+                );
+                continue;
+            };
             if graph.device(*node).effective_limit().is_none() {
                 continue;
             }
@@ -199,6 +263,12 @@ pub enum InvariantKind {
     /// screening cannot catch (paper §7: a too-low reading is
     /// indistinguishable from a genuinely lighter load at the server).
     MeterMismatch,
+    /// A wiring-audit probe's preconditions did not hold (a declared
+    /// attachment on a missing feed, or a declared server absent from the
+    /// farm). The probe is skipped and the discrepancy recorded — the
+    /// audit must outlive a declaration that disagrees with the fleet
+    /// inventory, since that disagreement is what it exists to find.
+    ProbeIntegrity,
 }
 
 /// One observed breach of a safety invariant.
@@ -688,6 +758,47 @@ mod tests {
         assert!(m.missing.contains(&"Y Right CB".to_string()), "{m:?}");
         assert!(m.unexpected.contains(&"Y Left CB".to_string()), "{m:?}");
         assert_eq!(report.verified.len(), 3);
+    }
+
+    /// Regression: a declaration that names a server the farm does not
+    /// hold used to panic the audit (`expect("probed server exists")`).
+    /// It must now skip that server's probe, record a
+    /// [`InvariantKind::ProbeIntegrity`] violation, and still audit the
+    /// servers that do exist.
+    #[test]
+    fn declared_but_missing_server_is_skipped_not_panicked() {
+        let rig = stranded_rig(RigConfig::table3());
+        let declared = rig.topology.clone();
+        let sd = rig.server("SD");
+        // Rebuild the farm without SD: declared inventory ⊃ racked fleet.
+        let mut farm = Farm::new();
+        for (id, srv) in rig.farm.iter() {
+            if id == sd {
+                continue;
+            }
+            let mut server = capmaestro_server::Server::new(srv.config().clone());
+            server.set_offered_demand(srv.offered_demand());
+            server.settle();
+            farm.insert(id, server);
+        }
+
+        let mut tracker = InvariantTracker::new(InvariantConfig::default());
+        let report = audit_wiring_tracked(&declared, &declared, &mut farm, &mut tracker);
+
+        assert_eq!(report.verified.len(), 3, "{report:?}");
+        assert!(!report.verified.contains(&sd));
+        assert!(report.is_clean(), "{:?}", report.mismatches);
+        let probe_violations: Vec<_> = tracker
+            .violations()
+            .iter()
+            .filter(|v| v.kind == InvariantKind::ProbeIntegrity)
+            .collect();
+        assert_eq!(probe_violations.len(), 1, "{:?}", tracker.violations());
+        assert!(
+            probe_violations[0].detail.contains("absent from the farm"),
+            "{}",
+            probe_violations[0].detail
+        );
     }
 
     #[test]

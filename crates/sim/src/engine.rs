@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 use capmaestro_core::obs::{names, PhaseTimer};
 use capmaestro_core::par::par_map;
-use capmaestro_core::plane::{ControlPlane, Farm, RoundReport};
-use capmaestro_server::{SenseInterposer, SensorSnapshot, Server};
+use capmaestro_core::plane::{ControlPlane, Farm, RoundReport, SenseBuffer};
+use capmaestro_server::{SenseInterposer, SensorSnapshot, ServerRef};
 use capmaestro_topology::{BreakerSim, BreakerState, FeedId, NodeId, Phase, ServerId, SupplyIndex, Topology};
 use capmaestro_units::{Seconds, Watts};
 
@@ -144,12 +144,15 @@ impl Trace {
             .sum()
     }
 
-    /// Mean of the last `n` samples of a series.
+    /// Mean of the last `n` samples of a series. The window is clamped
+    /// to the series length, and a degenerate window (empty series *or*
+    /// `n == 0`) yields `0.0` rather than the `0.0 / 0` NaN a naive
+    /// division would produce.
     pub fn tail_mean(series: &[f64], n: usize) -> f64 {
-        if series.is_empty() {
+        let n = n.min(series.len());
+        if n == 0 {
             return 0.0;
         }
-        let n = n.min(series.len());
         series[series.len() - n..].iter().sum::<f64>() / n as f64
     }
 }
@@ -434,6 +437,14 @@ pub struct Engine {
     /// the next control-round boundary (the serving subsystem's
     /// `POST /budget` path).
     staged_budgets: Option<Vec<Watts>>,
+    /// Reusable snapshot buffer for the per-second physics sweep.
+    /// Incrementally synced from the farm's slab, so a quiescent fleet
+    /// costs no snapshot copies and no allocations.
+    snaps_buf: SenseBuffer,
+    /// Reusable snapshot buffer for the interposed 1 Hz sense path
+    /// (kept separate from `snaps_buf` so each buffer tracks its own
+    /// sync generation against the slab).
+    sense_buf: SenseBuffer,
 }
 
 impl Engine {
@@ -492,6 +503,8 @@ impl Engine {
             delivered: Vec::new(),
             delivered_valid: false,
             staged_budgets: None,
+            snaps_buf: SenseBuffer::new(),
+            sense_buf: SenseBuffer::new(),
         }
     }
 
@@ -501,6 +514,15 @@ impl Engine {
     /// for every thread count; see [`Farm::set_parallelism`].
     pub fn set_parallelism(&mut self, threads: usize) -> &mut Self {
         self.farm.set_parallelism(threads);
+        self
+    }
+
+    /// Enables or disables the farm's event-driven stepping (on by
+    /// default). Disabling forces the full-rebuild sweep every second —
+    /// the differential-test baseline; trajectories are bit-identical
+    /// either way. See [`Farm::set_event_driven`].
+    pub fn set_event_driven(&mut self, enabled: bool) -> &mut Self {
+        self.farm.set_event_driven(enabled);
         self
     }
 
@@ -636,7 +658,7 @@ impl Engine {
                     })
                     .unwrap_or_default();
                 for (server, supply) in attachments {
-                    if let Some(srv) = self.farm.get_mut(server) {
+                    if let Some(mut srv) = self.farm.get_mut(server) {
                         let bank = srv.bank_mut();
                         if bank.working_count() > 1 {
                             bank.fail_supply(supply.index());
@@ -651,7 +673,7 @@ impl Engine {
                 self.plane.set_root_budgets(budgets);
             }
             Event::SetDemand(server, demand) => {
-                if let Some(srv) = self.farm.get_mut(server) {
+                if let Some(mut srv) = self.farm.get_mut(server) {
                     srv.set_offered_demand(demand);
                 }
             }
@@ -659,7 +681,7 @@ impl Engine {
                 self.plane.set_priority(server, priority);
             }
             Event::FailSupply(server, supply) => {
-                if let Some(srv) = self.farm.get_mut(server) {
+                if let Some(mut srv) = self.farm.get_mut(server) {
                     let bank = srv.bank_mut();
                     if bank.working_count() > 1 {
                         bank.fail_supply(supply.index());
@@ -670,7 +692,7 @@ impl Engine {
                 }
             }
             Event::SetStandby(server, supply, standby) => {
-                if let Some(srv) = self.farm.get_mut(server) {
+                if let Some(mut srv) = self.farm.get_mut(server) {
                     srv.bank_mut().set_standby(supply.index(), standby);
                 }
             }
@@ -686,7 +708,7 @@ impl Engine {
                     })
                     .unwrap_or_default();
                 for (server, supply) in attachments {
-                    if let Some(srv) = self.farm.get_mut(server) {
+                    if let Some(mut srv) = self.farm.get_mut(server) {
                         srv.bank_mut().repair_supply(supply.index());
                         if !srv.is_powered() {
                             srv.set_powered(true);
@@ -832,15 +854,20 @@ impl Engine {
             self.delivered.clear();
             self.delivered_valid = false;
             if self.faults.is_quiet() && !self.force_interposition {
-                self.plane.record_sample(&self.farm);
+                self.plane.sample(&mut self.farm);
             } else {
+                let mut sensed = std::mem::take(&mut self.sense_buf);
+                self.farm.sense_into(&mut sensed);
                 let faults = &mut self.faults;
                 let now_s = self.time_s;
                 self.delivered.extend(
-                    self.farm.sense_all().into_iter().filter_map(|(id, raw)| {
-                        faults.intercept(now_s, id, raw).map(|snap| (id, snap))
+                    sensed.entries().iter().filter_map(|(id, raw)| {
+                        faults
+                            .intercept(now_s, *id, raw.clone())
+                            .map(|snap| (*id, snap))
                     }),
                 );
+                self.sense_buf = sensed;
                 self.plane.record_snapshots(&self.farm, &self.delivered);
                 self.delivered_valid = true;
             }
@@ -863,9 +890,12 @@ impl Engine {
             // sensors; the snapshots feed the load accumulation, the
             // breaker models, and the trace without re-sensing. Each
             // breaker's thermal model runs on its own phase's load
-            // (ratings are per phase).
-            let mut snaps = self.farm.step_and_sense_all(Seconds::new(1.0));
-            let loads = self.node_loads(&snaps);
+            // (ratings are per phase). The sweep writes into a persistent
+            // buffer that only re-copies snapshots of servers the slab
+            // marked changed — a converged fleet costs no copies.
+            let mut snaps = std::mem::take(&mut self.snaps_buf);
+            self.farm.step_and_sense_into(Seconds::new(1.0), &mut snaps);
+            let loads = self.node_loads(snaps.entries());
             let mut tripped_now: Vec<(FeedId, NodeId, Phase)> = Vec::new();
             for ((feed, node, phase), sim) in &mut self.breakers {
                 let load = self
@@ -910,7 +940,7 @@ impl Engine {
                     })
                     .unwrap_or_default();
                 for (server, supply) in victims {
-                    if let Some(srv) = self.farm.get_mut(server) {
+                    if let Some(mut srv) = self.farm.get_mut(server) {
                         let bank = srv.bank_mut();
                         if bank.working_count() > 1 {
                             bank.fail_supply(supply.index());
@@ -928,7 +958,7 @@ impl Engine {
             // refresh their snapshots so the trace records post-trip
             // sensor readings, exactly as a fresh sense would.
             if !resensed.is_empty() {
-                for (id, snap) in snaps.iter_mut() {
+                for (id, snap) in snaps.entries_mut().iter_mut() {
                     if resensed.contains(id) {
                         if let Some(server) = self.farm.get(*id) {
                             *snap = server.sense();
@@ -938,7 +968,8 @@ impl Engine {
             }
 
             // Record.
-            self.record(&snaps, &loads);
+            self.record(snaps.entries(), &loads);
+            self.snaps_buf = snaps;
             self.time_s += 1;
             self.trace.seconds = self.time_s;
         }
@@ -948,7 +979,7 @@ impl Engine {
     /// returns its decisions — handy for reading converged steady-state
     /// budgets after [`Engine::run`].
     pub fn run_control_round(&mut self) -> capmaestro_core::plane::RoundReport {
-        self.plane.record_sample(&self.farm);
+        self.plane.sample(&mut self.farm);
         self.plane.round(&mut self.farm).clone()
     }
 
@@ -961,7 +992,7 @@ impl Engine {
     }
 
     /// Direct access to a server for assertions.
-    pub fn server(&self, id: ServerId) -> Option<&Server> {
+    pub fn server(&self, id: ServerId) -> Option<ServerRef<'_>> {
         self.farm.get(id)
     }
 }
@@ -995,6 +1026,25 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "dc cap diverged for {id:?}");
             }
         }
+    }
+
+    /// Regression: `tail_mean` over a degenerate window must be `0.0`,
+    /// never NaN. A window of `n == 0` used to divide by zero, and a
+    /// window longer than a short history must clamp to what exists.
+    #[test]
+    fn tail_mean_handles_short_history_and_zero_window() {
+        assert_eq!(Trace::tail_mean(&[], 10), 0.0);
+        assert_eq!(Trace::tail_mean(&[], 0), 0.0);
+        let short = [4.0, 8.0];
+        // n == 0 on a non-empty series: the old code returned 0.0 / 0.
+        let zero_window = Trace::tail_mean(&short, 0);
+        assert!(
+            zero_window == 0.0 && !zero_window.is_nan(),
+            "zero window must be 0.0, got {zero_window}"
+        );
+        // Window longer than the history clamps to the full series.
+        assert_eq!(Trace::tail_mean(&short, 5), 6.0);
+        assert_eq!(Trace::tail_mean(&short, 1), 8.0);
     }
 
     #[test]

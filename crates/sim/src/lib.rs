@@ -32,7 +32,8 @@ pub mod report;
 pub mod scenarios;
 
 pub use audit::{
-    audit_wiring, AuditReport, InvariantConfig, InvariantKind, InvariantTracker,
+    audit_wiring, audit_wiring_tracked, AuditReport, InvariantConfig, InvariantKind,
+    InvariantTracker,
     Violation, WiringMismatch,
 };
 pub use capacity::{CapacityConfig, CapacityPlanner, Condition, TrialStats};

@@ -224,12 +224,12 @@ mod tests {
     #[test]
     fn figure7a_flags_the_single_corded_servers() {
         let warnings = lint(&figure7a_rig());
-        let singles: Vec<&LintWarning> = warnings
+        let singles = warnings
             .iter()
             .filter(|w| matches!(w, LintWarning::SingleCorded { .. }))
-            .collect();
+            .count();
         // SA and SB have one cord each; SC/SD have two.
-        assert_eq!(singles.len(), 2);
+        assert_eq!(singles, 2);
     }
 
     #[test]
@@ -304,11 +304,11 @@ mod tests {
         let topo = b.build().unwrap();
         let warnings = lint(&topo);
         // Both `root` and `bare` have children but no limit above them.
-        let unprotected: Vec<_> = warnings
+        let unprotected = warnings
             .iter()
             .filter(|w| matches!(w, LintWarning::Unprotected { .. }))
-            .collect();
-        assert_eq!(unprotected.len(), 2);
+            .count();
+        assert_eq!(unprotected, 2);
     }
 
     #[test]
