@@ -65,6 +65,63 @@ wait "$DAEMON_PID"
 rm -f "$DAEMON_FIFO" "$DAEMON_LOG"
 echo "ci: serving-mode smoke ok"
 
+# Partition-soak smoke: a room controller in-process against 4 real
+# capmaestro-agent processes, with a seeded kill/SIGSTOP schedule; the
+# bench exits non-zero if any invariant (budget conservation, agent
+# world audits, recovery from fail-safe within the quiet tail) breaks.
+cargo build --release -q -p capmaestro-serve --bin capmaestro-agent
+cargo run --release -q -p capmaestro-bench --bin partition -- \
+    --smoke --out BENCH_partition_smoke.json
+
+# Distributed control-plane smoke: capmaestrod as room controller plus
+# two rack-agent processes over real sockets. Kill one agent and the
+# fail-safe gauge must rise; restart it and the gauge must clear. Every
+# step is wall-clock bounded so a wedged fleet fails CI instead of
+# hanging it.
+ROOM_LOG=$(mktemp); ROOM_FIFO=$(mktemp -u)
+mkfifo "$ROOM_FIFO"
+timeout 180s ./target/release/capmaestrod \
+    --agents 2 --rig racks:2:2 --addr 127.0.0.1:0 --agent-addr 127.0.0.1:0 \
+    --accel 0 --quit-on-stdin --wall-limit-s 150 \
+    <"$ROOM_FIFO" >"$ROOM_LOG" 2>&1 &
+ROOM_PID=$!
+exec 8>"$ROOM_FIFO"
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$ROOM_LOG" && break
+    sleep 0.1
+done
+AGENT_ADDR=$(sed -n 's|^capmaestrod: agents connect to ||p' "$ROOM_LOG" | head -1)
+ROOM_HTTP=$(sed -n 's|.*listening on http://||p' "$ROOM_LOG" | head -1)
+[[ -n "$AGENT_ADDR" && -n "$ROOM_HTTP" ]] || { echo "ci: room controller never announced its ports" >&2; cat "$ROOM_LOG" >&2; exit 1; }
+spawn_ci_agent() {
+    ./target/release/capmaestro-agent --connect "$AGENT_ADDR" --worker "$1" \
+        --workers-total 2 --rig racks:2:2 --max-connect-attempts 60 >/dev/null 2>&1 &
+}
+await_failsafe_gauge() { # $1: awk condition on the gauge value, $2: description
+    for _ in $(seq 1 120); do
+        v=$(curl -fsS --max-time 5 "http://$ROOM_HTTP/metrics" \
+            | awk '$1 == "capmaestro_worker_failsafe_cuts" {print $2}')
+        if [[ -n "$v" ]] && awk -v v="$v" "BEGIN{exit !(v $1)}"; then return 0; fi
+        sleep 0.25
+    done
+    echo "ci: /metrics never showed failsafe_cuts $1 ($2)" >&2
+    return 1
+}
+spawn_ci_agent 0; AGENT0_PID=$!
+spawn_ci_agent 1; AGENT1_PID=$!
+await_failsafe_gauge "== 0" "healthy fleet after connect"
+kill -9 "$AGENT0_PID"; wait "$AGENT0_PID" 2>/dev/null || true
+await_failsafe_gauge "> 0" "fail-safe cut after agent kill"
+spawn_ci_agent 0; AGENT0_PID=$!
+await_failsafe_gauge "== 0" "recovery after agent restart"
+echo quit >&8
+exec 8>&-
+wait "$ROOM_PID"
+wait "$AGENT0_PID" 2>/dev/null || true
+wait "$AGENT1_PID" 2>/dev/null || true
+rm -f "$ROOM_FIFO" "$ROOM_LOG"
+echo "ci: distributed control-plane smoke ok"
+
 if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p capmaestro-bench --bin parallel_scale
 fi

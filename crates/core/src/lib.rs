@@ -59,6 +59,7 @@ pub mod plane;
 pub mod policy;
 pub mod spo;
 pub mod tree;
+pub mod wire;
 pub mod workers;
 
 pub use budget::{split_budget, BudgetSplit};
@@ -78,4 +79,7 @@ pub use spo::{
     SpoOutcome,
 };
 pub use tree::{Allocation, ControlTree, SupplyInput};
-pub use workers::{DeploymentConfig, WorkerDeployment};
+pub use workers::{
+    ChannelTransport, DeploymentConfig, DownMsg, RackAssignment, RackWorker, RoundOutcome,
+    Transport, UpMsg, WorkerDeployment,
+};

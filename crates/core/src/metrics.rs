@@ -111,6 +111,38 @@ impl PriorityMetrics {
         PriorityMetrics::default()
     }
 
+    /// Reassembles a summary from exported parts — the decode path of the
+    /// distributed wire codec ([`crate::wire`]). The levels must arrive in
+    /// strictly descending priority order (the stored invariant) and every
+    /// quantity must be finite and non-negative; anything else is rejected
+    /// so a corrupt or hostile frame cannot smuggle an invalid summary
+    /// into the budgeting math.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first violated invariant.
+    pub fn from_raw_parts(
+        levels: Vec<(Priority, MetricEntry)>,
+        constraint: Watts,
+    ) -> Result<Self, &'static str> {
+        for pair in levels.windows(2) {
+            if pair[0].0 <= pair[1].0 {
+                return Err("priority levels must be strictly descending");
+            }
+        }
+        for (_, entry) in &levels {
+            for w in [entry.cap_min, entry.demand, entry.request] {
+                if !w.as_f64().is_finite() || w < Watts::ZERO {
+                    return Err("level entries must be finite and non-negative");
+                }
+            }
+        }
+        if !constraint.as_f64().is_finite() || constraint < Watts::ZERO {
+            return Err("constraint must be finite and non-negative");
+        }
+        Ok(PriorityMetrics { levels, constraint })
+    }
+
     /// Computes the metrics a capping controller reports for one supply
     /// (paper §4.3.1, level-1 formulas):
     ///

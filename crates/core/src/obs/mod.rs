@@ -276,6 +276,12 @@ pub mod names {
     /// Counter: HTTP worker threads respawned after a handler panic.
     pub const SERVE_WORKER_RESPAWNS_TOTAL: &str =
         "capmaestro_serve_worker_respawns_total";
+    /// Counter: times a rack agent re-established its outbound
+    /// connection to the room controller (first connect not counted).
+    pub const AGENT_RECONNECTS_TOTAL: &str = "capmaestro_agent_reconnects_total";
+    /// Histogram: heartbeat round-trip time measured by a rack agent.
+    pub const AGENT_HEARTBEAT_RTT_SECONDS: &str =
+        "capmaestro_agent_heartbeat_rtt_seconds";
 }
 
 #[cfg(test)]

@@ -18,12 +18,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use capmaestro_core::obs::{json, prometheus, MetricsRegistry};
+use capmaestro_core::workers::leaf_statics;
+use capmaestro_core::{DeploymentConfig, PolicyKind, WorkerDeployment};
 use capmaestro_sim::scenarios::{priority_rig, RigConfig};
 use capmaestro_sim::Engine;
 
 use crate::client;
+use crate::rig::{build_farm, build_rig, rig_assignments, RigSpec};
 use crate::router::Router;
 use crate::server::{HttpConfig, HttpServer, ShutdownHandle};
+use crate::socket::{SocketTransport, SocketTransportConfig};
 use crate::state::ServeState;
 
 /// Configuration for one daemon run.
@@ -44,6 +48,16 @@ pub struct DaemonConfig {
     pub quit_on_stdin: bool,
     /// Hard wall-clock stop, regardless of simulated progress.
     pub wall_limit: Option<Duration>,
+    /// Room-controller mode: expect this many out-of-process rack agents
+    /// over the socket transport instead of simulating in-process.
+    /// 0 (the default) keeps the classic engine mode.
+    pub agents: usize,
+    /// Bind address for the agent control listener (room mode only);
+    /// port 0 picks an ephemeral port, announced on stdout.
+    pub agent_addr: String,
+    /// The rig agents and controller independently build (room mode
+    /// only). Defaults to `racks:<agents>:2`.
+    pub rig: Option<RigSpec>,
 }
 
 impl Default for DaemonConfig {
@@ -56,6 +70,9 @@ impl Default for DaemonConfig {
             spo: true,
             quit_on_stdin: false,
             wall_limit: None,
+            agents: 0,
+            agent_addr: "127.0.0.1:0".to_string(),
+            rig: None,
         }
     }
 }
@@ -76,6 +93,7 @@ capmaestrod — CapMaestro serving daemon
 USAGE:
     capmaestrod [--addr HOST:PORT | --port PORT] [--seconds N] [--accel F]
                 [--workers N] [--no-spo] [--quit-on-stdin] [--wall-limit-s N]
+    capmaestrod --agents N [--agent-addr HOST:PORT] [--rig SPEC] [...]
     capmaestrod --probe HOST:PORT
 
 OPTIONS:
@@ -87,6 +105,12 @@ OPTIONS:
     --no-spo           disable supply-priority overdraw in the rig
     --quit-on-stdin    exit when stdin closes or receives a 'quit' line
     --wall-limit-s N   hard wall-clock stop after N seconds
+    --agents N         room-controller mode: run the control plane over N
+                       out-of-process capmaestro-agent rack workers
+    --agent-addr ADDR  agent listener bind address (room mode; default
+                       127.0.0.1:0, announced on stdout)
+    --rig SPEC         rig both sides build: fig2 or racks:R:S (room mode;
+                       default racks:<agents>:2)
     --probe ADDR       smoke-check a running daemon: scrape and validate
                        /metrics, /healthz, /report, then POST /budget
 
@@ -142,6 +166,15 @@ pub fn parse_args(args: &[String]) -> Result<DaemonCommand, String> {
                     .map_err(|_| "--wall-limit-s needs a non-negative integer".to_string())?;
                 config.wall_limit = Some(Duration::from_secs(secs));
             }
+            "--agents" => {
+                config.agents = value_for("--agents")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--agents needs a positive integer".to_string())?;
+            }
+            "--agent-addr" => config.agent_addr = value_for("--agent-addr")?,
+            "--rig" => config.rig = Some(RigSpec::parse(&value_for("--rig")?)?),
             "--probe" => return Ok(DaemonCommand::Probe(value_for("--probe")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
@@ -174,6 +207,9 @@ pub fn drive_second(engine: &mut Engine, state: &ServeState) -> bool {
 /// Run the daemon until a stop condition. Returns the number of
 /// simulated seconds executed.
 pub fn run(config: &DaemonConfig) -> Result<u64, String> {
+    if config.agents > 0 {
+        return run_room(config);
+    }
     let rig = priority_rig(RigConfig::table2().with_spo(config.spo));
     let registry = Arc::new(MetricsRegistry::new());
     let mut engine = Engine::new(rig);
@@ -233,6 +269,105 @@ pub fn run(config: &DaemonConfig) -> Result<u64, String> {
     server.shutdown();
     drop(engine);
     Ok(steps)
+}
+
+/// Run the daemon as a room controller over out-of-process rack agents.
+///
+/// The world lives in the agents: the controller builds the rig only to
+/// derive trees, assignments and the fail-safe statics, then drives
+/// [`WorkerDeployment`] rounds over a [`SocketTransport`] listener whose
+/// address is announced on stdout (`capmaestrod: agents connect to ...`).
+/// One loop iteration is one control round plus one simulated second of
+/// agent-side world time. `/healthz` reports `degraded` with a non-zero
+/// `stale_racks` count whenever any agent's cuts were budgeted from
+/// fail-safe metrics this round — a partitioned, frozen, or dead agent
+/// after the stale-hold window — and recovers when the agent reconnects.
+fn run_room(config: &DaemonConfig) -> Result<u64, String> {
+    let spec = config.rig.unwrap_or(RigSpec::Racks {
+        racks: config.agents,
+        servers_per_rack: 2,
+    });
+    let rig = build_rig(spec);
+    let trees_total = rig.trees.len();
+    let assignments = rig_assignments(&rig, config.agents);
+    // The farm is built only to capture the per-leaf fail-safe statics;
+    // the servers themselves live in the agents.
+    let statics = {
+        let farm = build_farm(&rig.topo);
+        leaf_statics(&rig.trees, &assignments, &farm)
+    };
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let transport = SocketTransport::bind(
+        SocketTransportConfig::new(config.agents).with_addr(config.agent_addr.clone()),
+    )
+    .map_err(|e| format!("bind agent listener {}: {e}", config.agent_addr))?;
+    // ci.sh and the tests parse this line for the agent port.
+    println!("capmaestrod: agents connect to {}", transport.local_addr());
+
+    let mut deployment = WorkerDeployment::with_transport(
+        rig.trees,
+        rig.root_budgets,
+        PolicyKind::GlobalPriority,
+        assignments,
+        &statics,
+        Box::new(transport),
+        DeploymentConfig::default().with_recorder(registry.clone()),
+    );
+
+    let state = Arc::new(ServeState::new(registry.clone(), 1));
+    let router = Router::new(state.clone(), registry.clone());
+    let http_config = HttpConfig::default()
+        .with_addr(config.addr.clone())
+        .with_workers(config.workers)
+        .with_recorder(registry.clone());
+    let mut server = HttpServer::bind(http_config, Arc::new(router))
+        .map_err(|e| format!("bind {}: {e}", config.addr))?;
+    println!("capmaestrod: listening on http://{}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let shutdown = server.shutdown_handle();
+    if config.quit_on_stdin {
+        spawn_stdin_watcher(shutdown.clone());
+    }
+
+    let started = Instant::now();
+    let step_wall = if config.accel > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / config.accel))
+    } else {
+        None
+    };
+    let mut rounds: u64 = 0;
+    while !shutdown.is_requested() {
+        if config.seconds > 0 && rounds >= config.seconds {
+            break;
+        }
+        if let Some(limit) = config.wall_limit {
+            if started.elapsed() >= limit {
+                break;
+            }
+        }
+        if let Some(budgets) = state.take_pending_budgets() {
+            deployment.set_root_budgets(budgets);
+        }
+        let outcome = deployment.run_round(rounds);
+        deployment.advance(1);
+        let stale_racks = deployment
+            .assignments()
+            .iter()
+            .filter(|a| a.cuts.iter().any(|(c, _)| outcome.failsafe_cuts.contains(c)))
+            .count();
+        rounds += 1;
+        state.publish_distributed(rounds, trees_total, stale_racks);
+        if let Some(step_wall) = step_wall {
+            pace(step_wall, &shutdown);
+        }
+    }
+
+    server.shutdown();
+    deployment.shutdown();
+    Ok(rounds)
 }
 
 /// Sleep `total` in small chunks, returning early on shutdown.

@@ -31,17 +31,39 @@
 //!   its response parser doubles as the well-formedness oracle for the
 //!   parser fuzz suite.
 //!
+//! The distributed control plane rides the same TCP stack:
+//!
+//! - [`frame`] — deadline-bounded length-prefixed frame I/O over
+//!   `TcpStream`, wrapping the versioned codec in `capmaestro_core::wire`.
+//! - [`rig`] — the deterministic rig vocabulary controller and agents
+//!   build independently (no topology ever crosses the wire).
+//! - [`socket`] — [`socket::SocketTransport`]: the room controller's
+//!   listener-side `Transport` implementation (outbound agents,
+//!   heartbeat liveness, reconnect-as-respawn).
+//! - [`agent`] — the rack agent loop behind the `capmaestro-agent`
+//!   binary: one worker index, a local farm of owned servers, jittered
+//!   reconnect backoff.
+//!
 //! See DESIGN.md "Serving mode" for the endpoint table, health semantics,
-//! and the shutdown protocol.
+//! and the shutdown protocol, and "Distributed control plane" for the
+//! wire format and partition semantics.
 
+pub mod agent;
 pub mod client;
 pub mod daemon;
+pub mod frame;
 pub mod http;
+pub mod rig;
 pub mod router;
 pub mod server;
+pub mod socket;
 pub mod state;
 
+pub use agent::{run_agent, AgentConfig, AgentReport};
+pub use frame::{write_frame, FrameReader};
 pub use http::{HttpError, HttpLimits, Request, Response};
+pub use rig::{build_owned_farm, build_rig, rig_assignments, DistRig, RigSpec};
 pub use router::Router;
 pub use server::{Handler, HttpConfig, HttpServer, ShutdownHandle};
+pub use socket::{SocketTransport, SocketTransportConfig};
 pub use state::{BudgetError, HealthSnapshot, ServeState};

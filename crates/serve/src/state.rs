@@ -29,6 +29,9 @@ struct HealthInner {
     sim_seconds: u64,
     /// Servers currently degraded to last-known-good telemetry.
     stale_servers: usize,
+    /// Rack workers currently budgeted from fail-safe metrics
+    /// (distributed deployments only; always 0 for an in-process engine).
+    stale_racks: usize,
     /// Number of control trees (the expected `POST /budget` arity).
     trees: usize,
 }
@@ -51,6 +54,9 @@ pub struct HealthSnapshot {
     pub control_period_s: u64,
     /// Count of servers on stale telemetry.
     pub stale_servers: usize,
+    /// Count of rack workers riding fail-safe budgets (partitioned or
+    /// silent agents in a distributed deployment).
+    pub stale_racks: usize,
     /// Number of control trees.
     pub trees: usize,
 }
@@ -64,12 +70,13 @@ impl HealthSnapshot {
             None => "null".to_string(),
         };
         format!(
-            "{{\"status\":\"{status}\",\"degraded\":{},\"rounds_total\":{},\"sim_seconds\":{},\"last_round_age_s\":{age},\"control_period_s\":{},\"stale_servers\":{},\"trees\":{}}}\n",
+            "{{\"status\":\"{status}\",\"degraded\":{},\"rounds_total\":{},\"sim_seconds\":{},\"last_round_age_s\":{age},\"control_period_s\":{},\"stale_servers\":{},\"stale_racks\":{},\"trees\":{}}}\n",
             self.degraded,
             self.rounds_total,
             self.sim_seconds,
             self.control_period_s,
             self.stale_servers,
+            self.stale_racks,
             self.trees,
         )
     }
@@ -198,18 +205,39 @@ impl ServeState {
         }
     }
 
+    /// Publish one distributed-deployment round: the room-controller
+    /// counterpart of [`publish`](Self::publish), for daemons whose world
+    /// lives in out-of-process rack agents rather than an engine.
+    /// `stale_racks` is the number of workers whose cuts were budgeted
+    /// from fail-safe metrics this round; `/report` renders the live
+    /// registry snapshot (the deployment's recorder writes into it).
+    pub fn publish_distributed(&self, sim_seconds: u64, trees: usize, stale_racks: usize) {
+        {
+            let mut health = self.health.lock().unwrap_or_else(|p| p.into_inner());
+            health.sim_seconds = sim_seconds;
+            health.stale_racks = stale_racks;
+            health.trees = trees;
+            health.rounds_total += 1;
+            health.last_round = Some(Instant::now());
+        }
+        let rendered = json::snapshot(&self.registry.snapshot());
+        let mut slot = self.report_json.write().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(rendered);
+    }
+
     /// The current health view, as `GET /healthz` reports it.
     pub fn health(&self) -> HealthSnapshot {
         let health = self.health.lock().unwrap_or_else(|p| p.into_inner());
         let last_round_age = health.last_round.map(|at| at.elapsed());
         HealthSnapshot {
             healthy: last_round_age.is_some_and(|age| age <= self.unhealthy_after),
-            degraded: health.stale_servers > 0,
+            degraded: health.stale_servers > 0 || health.stale_racks > 0,
             rounds_total: health.rounds_total,
             sim_seconds: health.sim_seconds,
             last_round_age_s: last_round_age.map(|age| age.as_secs_f64()),
             control_period_s: self.control_period_s,
             stale_servers: health.stale_servers,
+            stale_racks: health.stale_racks,
             trees: health.trees,
         }
     }

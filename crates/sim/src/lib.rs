@@ -28,6 +28,7 @@ pub mod capacity;
 pub mod engine;
 pub mod faults;
 pub mod jobs;
+pub mod procchaos;
 pub mod report;
 pub mod scenarios;
 
@@ -42,4 +43,5 @@ pub use faults::{
     ChaosAction, ChaosConfig, ChaosPlan, Episode, FaultKind, FaultLayer, FlapSpec,
 };
 pub use jobs::{Job, JobSchedule};
+pub use procchaos::{demand_at, partition_plan, PartitionPlan, ProcFault};
 pub use scenarios::{Rig, RigConfig};

@@ -99,6 +99,47 @@ pub fn figure7a_rig() -> Topology {
     b.build().expect("preset topology is valid")
 }
 
+/// A single-feed room of `racks` rack breakers with `servers_per_rack`
+/// single-corded servers each — the rig of the distributed control-plane
+/// tests and the `partition` bench, where one rack maps onto one agent
+/// process.
+///
+/// Rack breakers are sized at 360 W per server and the room breaker at
+/// 330 W per server, so the room is mildly oversubscribed (demand of
+/// 420 W per server cannot be met everywhere) and every rack sees real
+/// budget pressure. The first server of every rack is high priority.
+///
+/// # Panics
+///
+/// Panics if `racks` or `servers_per_rack` is zero.
+///
+/// ```
+/// use capmaestro_topology::presets::racks_feed;
+///
+/// let topo = racks_feed(4, 3);
+/// assert_eq!(topo.server_count(), 12);
+/// assert_eq!(topo.control_tree_specs().len(), 1);
+/// ```
+pub fn racks_feed(racks: usize, servers_per_rack: usize) -> Topology {
+    assert!(racks > 0, "at least one rack is required");
+    assert!(servers_per_rack > 0, "at least one server per rack is required");
+    let per_rack = Watts::new(360.0 * servers_per_rack as f64);
+    let room = Watts::new(330.0 * (racks * servers_per_rack) as f64);
+    let mut b = TopologyBuilder::new();
+    let root = b.add_feed(FeedId::A, budget_node("Room CB", room));
+    for r in 0..racks {
+        let rack = b
+            .add_node(FeedId::A, root, budget_node(format!("Rack{r} CB"), per_rack))
+            .expect("root exists");
+        for s in 0..servers_per_rack {
+            let priority = if s == 0 { Priority::HIGH } else { Priority::LOW };
+            b.single_corded_server(format!("r{r}s{s}"), priority, FeedId::A, rack, Phase::L1)
+                .expect("attachment is valid");
+        }
+    }
+    b.build().expect("preset topology is valid")
+}
+
 /// Per-server placement inside the Table 4 data center, returned alongside
 /// the topology so simulations can map servers back to racks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -312,6 +353,32 @@ mod tests {
         assert_eq!(atts[0].2.supply, SI::FIRST);
         assert_eq!(atts[1].2.supply, SI::SECOND);
         assert_ne!(atts[0].0, atts[1].0);
+    }
+
+    #[test]
+    fn racks_feed_structure() {
+        let topo = racks_feed(4, 6);
+        assert_eq!(topo.server_count(), 24);
+        let specs = topo.control_tree_specs();
+        assert_eq!(specs.len(), 1);
+        let spec = &specs[0];
+        // Root carries the room limit, each rack node carries 360 W/server.
+        assert_eq!(spec.node(spec.root()).limit, Some(Watts::new(330.0 * 24.0)));
+        let racks = &spec.node(spec.root()).children;
+        assert_eq!(racks.len(), 4);
+        for &r in racks {
+            assert_eq!(spec.node(r).limit, Some(Watts::new(360.0 * 6.0)));
+            assert_eq!(spec.node(r).children.len(), 6);
+        }
+        // First slot of each rack is high priority.
+        for r in 0..4 {
+            for s in 0..6 {
+                let id = topo.server_by_name(&format!("r{r}s{s}")).unwrap();
+                let want = if s == 0 { Priority::HIGH } else { Priority::LOW };
+                assert_eq!(topo.server(id).unwrap().priority(), want);
+            }
+        }
+        assert!(topo.validate().is_ok());
     }
 
     #[test]
