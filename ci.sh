@@ -23,6 +23,13 @@ cargo run --release -q -p capmaestro-bench --bin chaos -- \
 cargo run --release -q -p capmaestro-bench --bin alloc -- \
     --smoke --out BENCH_alloc_smoke.json
 
+# Policy-arena smoke: every budget-split allocator (waterfall,
+# waterfilling, fair_share) races the same seeded diurnal / flash-crowd /
+# feed-failure scenarios; exits non-zero if any scored metric leaves its
+# sane range.
+cargo run --release -q -p capmaestro-bench --bin policies -- \
+    --smoke --out BENCH_policies_smoke.json
+
 # Fleet-stepping smoke: the sharded, event-driven slab pipeline (1 Hz
 # sample + fused step-and-sense + control rounds) on a 128-server rig in
 # both stepping modes; exits non-zero on degenerate throughput.

@@ -1,0 +1,476 @@
+//! Policy arena: race the budget-split allocators on identical seeded
+//! scenarios.
+//!
+//! Every [`AllocatorKind`] (the paper's §4.3.2 waterfall, the projected
+//! waterfilling solver, the FastCap-style fair-share solver) runs the
+//! same seeded scenario schedule — a diurnal demand curve, a flash
+//! crowd, and a feed failure mid-storm — and is scored on four metrics:
+//!
+//! - **throughput**: mean served fraction `Σ min(power, demand) / Σ demand`;
+//! - **Jain's fairness index** over per-server mean served fractions;
+//! - **stranded watts**: mean budget left unused while demand goes unmet;
+//! - **convergence**: seconds after the headline disturbance until the
+//!   fleet's power last exceeded the contractual budget envelope.
+//!
+//! ```text
+//! cargo run --release -p capmaestro-bench --bin policies \
+//!     [-- --smoke --seconds N --seed S --seeds K --out PATH]
+//! ```
+//!
+//! Results land in `BENCH_policies.json`; the process exits non-zero if
+//! any metric leaves its sane range, so CI can gate on `--smoke`.
+
+#![deny(clippy::missing_docs_in_private_items)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use capmaestro_bench::{banner, Args};
+use capmaestro_core::alloc::AllocatorKind;
+use capmaestro_sim::engine::{Engine, Event};
+use capmaestro_sim::report::Table;
+use capmaestro_sim::scenarios::{priority_rig, stranded_rig, RigConfig};
+use capmaestro_topology::ServerId;
+use capmaestro_units::Watts;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Seconds ignored at the start of every run before metrics accumulate
+/// (controller warm-up; all policies get the same grace).
+const WARMUP_S: u64 = 24;
+
+/// Fractional tolerance above the contractual budget that still counts
+/// as "converged" (plus [`BUDGET_SLACK_W`] absolute).
+const CONVERGENCE_TOL: f64 = 0.02;
+
+/// Absolute slack on the budget envelope, in watts.
+const BUDGET_SLACK_W: f64 = 5.0;
+
+/// Unmet demand below this many watts does not count as starvation when
+/// attributing stranded budget.
+const UNMET_FLOOR_W: f64 = 5.0;
+
+/// Which preset rig a scenario runs on.
+#[derive(Debug, Clone, Copy)]
+enum RigKind {
+    /// The Fig. 2 single-feed priority rig (1240 W budget).
+    Fig2,
+    /// The Fig. 7a dual-feed stranded-power rig (2 × 700 W).
+    Stranded,
+}
+
+/// One scenario: a rig plus a seeded disturbance schedule.
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    /// Stable name (JSON key and table row).
+    name: &'static str,
+    /// Which rig the schedule drives.
+    rig: RigKind,
+}
+
+/// The arena's scenario list.
+const SCENARIOS: [Scenario; 3] = [
+    Scenario {
+        name: "diurnal",
+        rig: RigKind::Fig2,
+    },
+    Scenario {
+        name: "flash_crowd",
+        rig: RigKind::Fig2,
+    },
+    Scenario {
+        name: "feed_fail_storm",
+        rig: RigKind::Stranded,
+    },
+];
+
+/// One (scenario, policy, seed) outcome.
+struct RunResult {
+    /// Scenario name.
+    scenario: &'static str,
+    /// Allocator under test.
+    policy: AllocatorKind,
+    /// Schedule seed.
+    seed: u64,
+    /// Simulated seconds.
+    seconds: u64,
+    /// Mean served fraction of demand, `[0, 1]`.
+    throughput: f64,
+    /// Jain's fairness index over per-server mean served fractions.
+    jain: f64,
+    /// Mean watts of budget left unused while ≥ [`UNMET_FLOOR_W`] of
+    /// demand went unserved.
+    stranded_w: f64,
+    /// Seconds after the disturbance until fleet power last sat above
+    /// the budget envelope (0 = never exceeded it).
+    convergence_s: u64,
+    /// Sanity-check failures (non-finite or out-of-range metrics).
+    violations: Vec<String>,
+}
+
+/// Builds the scenario's engine for one (policy, seed): same schedule
+/// for every policy, differing only in the allocator raced by the plane.
+/// Returns the engine and the second the headline disturbance lands at.
+fn build(scenario: &Scenario, policy: AllocatorKind, seed: u64, seconds: u64) -> (Engine, u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    match scenario.rig {
+        RigKind::Fig2 => {
+            let rig = priority_rig(RigConfig::table2().with_allocator(policy));
+            let servers: Vec<ServerId> =
+                rig.farm.iter().map(|(id, _)| id).collect();
+            let mut engine = Engine::new(rig);
+            match scenario.name {
+                "diurnal" => {
+                    // Per-server offset sinusoids around a feasible mean;
+                    // the crest pushes total demand past the 1240 W
+                    // budget, so capping binds for part of every cycle.
+                    let period = (seconds / 2).max(60) as f64;
+                    let budget = 1240.0;
+                    let specs: Vec<(f64, f64, f64)> = servers
+                        .iter()
+                        .map(|_| {
+                            let mid = 280.0 + rng.random::<f64>() * 30.0;
+                            let amp = 90.0 + rng.random::<f64>() * 60.0;
+                            let phase = rng.random::<f64>() * period;
+                            (mid, amp, phase)
+                        })
+                        .collect();
+                    let mut disturb = seconds / 2;
+                    let mut found = false;
+                    let mut t = 8;
+                    while t < seconds {
+                        let mut total = 0.0;
+                        for (&id, &(mid, amp, phase)) in servers.iter().zip(&specs) {
+                            let angle = (t as f64 + phase) / period
+                                * std::f64::consts::TAU;
+                            let demand =
+                                (mid + amp * angle.sin()).clamp(180.0, 490.0);
+                            total += demand;
+                            engine.schedule(t, Event::SetDemand(id, Watts::new(demand)));
+                        }
+                        if !found && total > budget {
+                            disturb = t;
+                            found = true;
+                        }
+                        t += 16;
+                    }
+                    (engine, disturb)
+                }
+                _ => {
+                    // Flash crowd: a calm fleet spikes to near cap_max in
+                    // one second, holds, then subsides.
+                    let spike_at = seconds / 3;
+                    let spike_len = (seconds / 5).max(40);
+                    for &id in &servers {
+                        let calm = 270.0 + rng.random::<f64>() * 40.0;
+                        let crowd = 455.0 + rng.random::<f64>() * 35.0;
+                        let after = 290.0 + rng.random::<f64>() * 30.0;
+                        engine.schedule(1, Event::SetDemand(id, Watts::new(calm)));
+                        engine.schedule(spike_at, Event::SetDemand(id, Watts::new(crowd)));
+                        engine.schedule(
+                            spike_at + spike_len,
+                            Event::SetDemand(id, Watts::new(after)),
+                        );
+                    }
+                    (engine, spike_at)
+                }
+            }
+        }
+        RigKind::Stranded => {
+            // Feed failure mid-storm: demands surge, then one of the two
+            // feeds dies while every server still wants its storm demand,
+            // collapsing the contractual envelope to the survivor. The
+            // outage window is bounded — the survivors' cap_min floors
+            // exceed the collapsed budget, so until the feed returns no
+            // policy can reach the envelope and convergence measures
+            // outage plus recovery speed, not run length.
+            let rig = stranded_rig(RigConfig::table3().with_allocator(policy));
+            let servers: Vec<ServerId> = rig.farm.iter().map(|(id, _)| id).collect();
+            let feeds: Vec<_> = rig.topology.feeds().iter().map(|g| g.feed()).collect();
+            let mut engine = Engine::new(rig);
+            let storm_at = seconds / 4;
+            let fail_at = storm_at + 12;
+            for &id in &servers {
+                let storm = 450.0 + rng.random::<f64>() * 40.0;
+                engine.schedule(storm_at, Event::SetDemand(id, Watts::new(storm)));
+            }
+            let failed = feeds[feeds.len() - 1];
+            engine.schedule(fail_at, Event::FailFeed(failed));
+            engine.schedule(fail_at + 48, Event::RestoreFeed(failed));
+            (engine, fail_at)
+        }
+    }
+}
+
+/// Runs one (scenario, policy, seed) race and scores it.
+fn run_one(
+    scenario: &Scenario,
+    policy: AllocatorKind,
+    seed: u64,
+    seconds: u64,
+) -> RunResult {
+    let (mut engine, disturb_s) = build(scenario, policy, seed, seconds);
+
+    // Per-server served-fraction accumulators and fleet-level series.
+    let mut per_server: HashMap<ServerId, (f64, u64)> = HashMap::new();
+    let mut throughput_sum = 0.0;
+    let mut throughput_n: u64 = 0;
+    let mut stranded_sum = 0.0;
+    let mut stranded_n: u64 = 0;
+    let mut last_over: Option<u64> = None;
+
+    engine.run_observed(seconds, |e| {
+        let t = e.now_s();
+        let budget: f64 = e
+            .plane()
+            .root_budgets_now()
+            .iter()
+            .map(|b| b.as_f64())
+            .sum();
+        let mut served = 0.0;
+        let mut demand_total = 0.0;
+        let mut power_total = 0.0;
+        for (id, s) in e.farm().iter() {
+            let demand = s.offered_demand().as_f64();
+            let power = s.sense().total_ac.as_f64();
+            power_total += power;
+            if demand <= 0.0 {
+                continue;
+            }
+            let ratio = (power.min(demand) / demand).clamp(0.0, 1.0);
+            served += power.min(demand);
+            demand_total += demand;
+            if t > WARMUP_S {
+                let entry = per_server.entry(id).or_insert((0.0, 0));
+                entry.0 += ratio;
+                entry.1 += 1;
+            }
+        }
+        if t > WARMUP_S && demand_total > 0.0 {
+            throughput_sum += served / demand_total;
+            throughput_n += 1;
+            let unmet = demand_total - served;
+            if unmet > UNMET_FLOOR_W {
+                stranded_sum += (budget - power_total).max(0.0);
+                stranded_n += 1;
+            }
+        }
+        if t >= disturb_s
+            && power_total > budget * (1.0 + CONVERGENCE_TOL) + BUDGET_SLACK_W
+        {
+            last_over = Some(t);
+        }
+    });
+
+    let throughput = if throughput_n > 0 {
+        throughput_sum / throughput_n as f64
+    } else {
+        1.0
+    };
+    let ratios: Vec<f64> = per_server
+        .values()
+        .map(|&(sum, n)| if n > 0 { sum / n as f64 } else { 0.0 })
+        .collect();
+    let jain = jain_index(&ratios);
+    let stranded_w = if stranded_n > 0 {
+        stranded_sum / stranded_n as f64
+    } else {
+        0.0
+    };
+    let convergence_s = last_over.map(|t| t + 1 - disturb_s).unwrap_or(0);
+
+    let mut violations = Vec::new();
+    if !throughput.is_finite() || !(0.0..=1.0 + 1e-9).contains(&throughput) {
+        violations.push(format!("throughput out of range: {throughput}"));
+    }
+    if !jain.is_finite() || !(0.0..=1.0 + 1e-9).contains(&jain) {
+        violations.push(format!("jain index out of range: {jain}"));
+    }
+    if !stranded_w.is_finite() || stranded_w < 0.0 {
+        violations.push(format!("stranded watts out of range: {stranded_w}"));
+    }
+    if convergence_s > seconds {
+        violations.push(format!("convergence {convergence_s} s exceeds the run"));
+    }
+
+    RunResult {
+        scenario: scenario.name,
+        policy,
+        seed,
+        seconds,
+        throughput,
+        jain,
+        stranded_w,
+        convergence_s,
+        violations,
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)`; 1.0 for an empty or
+/// all-zero population (nothing to be unfair about).
+fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if n == 0.0 || sq <= 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (n * sq)
+    }
+}
+
+/// Mean of an iterator of f64 (0 when empty).
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0u64), |(s, n), v| (s + v, n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Renders `BENCH_policies.json`: every run plus per-(scenario, policy)
+/// summary means.
+fn render_json(smoke: bool, seeds: &[u64], runs: &[RunResult]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"policy_arena\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let seed_list: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "  \"seeds\": [{}],", seed_list.join(", "));
+    let scenario_list: Vec<String> = SCENARIOS
+        .iter()
+        .map(|s| format!("\"{}\"", s.name))
+        .collect();
+    let _ = writeln!(out, "  \"scenarios\": [{}],", scenario_list.join(", "));
+    let policy_list: Vec<String> = AllocatorKind::ALL
+        .iter()
+        .map(|p| format!("\"{}\"", p.name()))
+        .collect();
+    let _ = writeln!(out, "  \"policies\": [{}],", policy_list.join(", "));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"seed\": {}, \
+             \"seconds\": {}, \"throughput\": {:.6}, \"jain_fairness\": {:.6}, \
+             \"stranded_w\": {:.3}, \"convergence_s\": {}}}",
+            r.scenario,
+            r.policy.name(),
+            r.seed,
+            r.seconds,
+            r.throughput,
+            r.jain,
+            r.stranded_w,
+            r.convergence_s
+        );
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"summary\": [\n");
+    let mut first = true;
+    for scenario in &SCENARIOS {
+        for policy in AllocatorKind::ALL {
+            let subset: Vec<&RunResult> = runs
+                .iter()
+                .filter(|r| r.scenario == scenario.name && r.policy == policy)
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \
+                 \"throughput_mean\": {:.6}, \"jain_mean\": {:.6}, \
+                 \"stranded_w_mean\": {:.3}, \"convergence_s_mean\": {:.1}}}",
+                scenario.name,
+                policy.name(),
+                mean(subset.iter().map(|r| r.throughput)),
+                mean(subset.iter().map(|r| r.jain)),
+                mean(subset.iter().map(|r| r.stranded_w)),
+                mean(subset.iter().map(|r| r.convergence_s as f64)),
+            );
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::capture();
+    let smoke = args.flag("smoke");
+    let default_seconds: u64 = if smoke { 240 } else { 640 };
+    let seconds: u64 = args.get("seconds", default_seconds);
+    let first_seed: u64 = args.get("seed", 1);
+    let seed_count: u64 = args.get("seeds", 3);
+    let out_path: String = args.get("out", "BENCH_policies.json".to_string());
+    let seeds: Vec<u64> = (first_seed..first_seed + seed_count.max(1)).collect();
+
+    banner(
+        "Policy arena",
+        "waterfall vs waterfilling vs fair_share on identical seeded scenarios",
+    );
+    println!(
+        "{seconds} simulated seconds per run, seeds {seeds:?}, scenarios: \
+         diurnal, flash_crowd, feed_fail_storm\n"
+    );
+
+    let mut runs = Vec::new();
+    for scenario in &SCENARIOS {
+        for policy in AllocatorKind::ALL {
+            for &seed in &seeds {
+                runs.push(run_one(scenario, policy, seed, seconds));
+            }
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "Scenario",
+        "Policy",
+        "Throughput",
+        "Jain",
+        "Stranded (W)",
+        "Converge (s)",
+    ]);
+    for scenario in &SCENARIOS {
+        for policy in AllocatorKind::ALL {
+            let subset: Vec<&RunResult> = runs
+                .iter()
+                .filter(|r| r.scenario == scenario.name && r.policy == policy)
+                .collect();
+            table.row(vec![
+                scenario.name.to_string(),
+                policy.name().to_string(),
+                format!("{:.4}", mean(subset.iter().map(|r| r.throughput))),
+                format!("{:.4}", mean(subset.iter().map(|r| r.jain))),
+                format!("{:.1}", mean(subset.iter().map(|r| r.stranded_w))),
+                format!("{:.1}", mean(subset.iter().map(|r| r.convergence_s as f64))),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!();
+
+    let json = render_json(smoke, &seeds, &runs);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+
+    let total: usize = runs.iter().map(|r| r.violations.len()).sum();
+    if total > 0 {
+        eprintln!("\n{total} sanity violation(s):");
+        for r in &runs {
+            for v in &r.violations {
+                eprintln!("  {}/{}/{}: {}", r.scenario, r.policy.name(), r.seed, v);
+            }
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "all {} runs scored inside sane metric ranges.",
+        runs.len()
+    );
+}

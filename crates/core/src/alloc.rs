@@ -1,0 +1,723 @@
+//! The allocator seam: pluggable per-node budget-split policies.
+//!
+//! CapMaestro's §4.3.2 waterfall is one way to divide a node's budget among
+//! its children; nvPAX-style solvers and FastCap-style fairness objectives
+//! are others. [`Allocator`] is the object-safe seam the budget-down pass
+//! calls at every internal node: it receives the gathered
+//! [`PriorityMetrics`] of the children, the node's budget, and reusable
+//! scratch, and writes one budget per child. Three implementations ship:
+//!
+//! - [`WaterfallAllocator`] — the paper's four-step waterfall, delegating
+//!   verbatim to [`split_budget_into`] (bit-identical to the pre-seam
+//!   plane by construction, and proven so by the differential suite);
+//! - [`WaterfillingAllocator`] — projected waterfilling in the nvPAX
+//!   spirit: one water level rises under per-child box constraints
+//!   `[cap_min, min(request, constraint)]`, with priority-derived weights
+//!   so higher-priority demand fills exponentially faster;
+//! - [`FairShareAllocator`] — a FastCap-style fairness objective: equalize
+//!   the normalized throughput loss `1 − b_i/d_i` across children, floored
+//!   at `cap_min` and capped at the constraint (priority-blind by design).
+//!
+//! Every allocator must uphold the same contract (enforced by the
+//! property suite in `crates/core/tests/allocator_props.rs`): budgets are
+//! finite and non-negative, no child exceeds its constraint, feasible
+//! budgets cover every child's `cap_min` floor, infeasible budgets scale
+//! the floors proportionally, and `Σ budgets + returned unallocated`
+//! equals the input budget. All three are allocation-free once the shared
+//! [`AllocScratch`] is warm, preserving the round pipeline's
+//! zero-allocation discipline.
+
+#![deny(clippy::missing_docs_in_private_items)]
+
+use core::fmt;
+use core::str::FromStr;
+
+use capmaestro_units::Watts;
+
+use crate::budget::{split_budget_into, waterfill_into, SplitScratch};
+use crate::metrics::PriorityMetrics;
+
+/// Bisection iterations for the solver allocators. 64 halvings reduce any
+/// bracket below f64 resolution; the residual top-off waterfill absorbs
+/// whatever tolerance remains, so conservation never depends on the count.
+const BISECT_ITERS: u32 = 64;
+
+/// An object-safe budget-split policy: one call divides a node's budget
+/// among its children.
+///
+/// Implementations must be pure functions of `(budget, children)` — the
+/// control plane caches and reuses them across rounds and trees — and must
+/// not allocate once `scratch` and `budgets` are warm.
+pub trait Allocator: Send + Sync {
+    /// Stable identifier (also the CLI / config spelling). Round state is
+    /// invalidated when this changes between rounds, so two allocators
+    /// must never share a name.
+    fn name(&self) -> &'static str;
+
+    /// Splits `budget` among `children`, writing one budget per child into
+    /// `budgets` (aligned with `children`) and returning the unallocated
+    /// remainder. `children` empty ⇒ `budgets` empty and the whole budget
+    /// is returned.
+    fn split(
+        &self,
+        budget: Watts,
+        children: &[PriorityMetrics],
+        scratch: &mut AllocScratch,
+        budgets: &mut Vec<Watts>,
+    ) -> Watts;
+}
+
+/// Reusable scratch for any [`Allocator`]: the waterfall's
+/// [`SplitScratch`] plus the solver allocators' f64 working vectors.
+/// One instance serves every policy, so swapping allocators between
+/// rounds costs no allocation churn beyond the first warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    /// The §4.3.2 waterfall's own scratch buffers.
+    split: SplitScratch,
+    /// Per-child lower bounds (cap_min clamped at the constraint), raw watts.
+    floors: Vec<f64>,
+    /// Per-child upper bounds (request or demand clamped at the
+    /// constraint), raw watts.
+    ubs: Vec<f64>,
+    /// Per-child solver weights (priority-scaled headroom or demand).
+    weights: Vec<f64>,
+    /// Weights converted to [`Watts`] for the residual top-off waterfill.
+    wf_weights: Vec<Watts>,
+    /// Remaining per-child room for the residual top-off waterfill.
+    wf_rooms: Vec<Watts>,
+    /// Grant output buffer for the residual top-off waterfill.
+    wf_grants: Vec<Watts>,
+}
+
+/// The paper's §4.3.2 waterfall behind the seam: floors, priority descent,
+/// proportional fill at the first partial level, surplus to constraints.
+/// Delegates verbatim to [`split_budget_into`], so its output is
+/// bit-identical to the pre-seam budget-down pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WaterfallAllocator;
+
+impl Allocator for WaterfallAllocator {
+    fn name(&self) -> &'static str {
+        "waterfall"
+    }
+
+    fn split(
+        &self,
+        budget: Watts,
+        children: &[PriorityMetrics],
+        scratch: &mut AllocScratch,
+        budgets: &mut Vec<Watts>,
+    ) -> Watts {
+        split_budget_into(budget, children, &mut scratch.split, budgets)
+    }
+}
+
+/// Projected waterfilling in the nvPAX spirit: a single water level θ
+/// rises simultaneously for every child, each filling at a
+/// priority-derived rate inside its box `[floor, min(request,
+/// constraint)]`. Children at the same priority with equal headroom fill
+/// identically; each priority level above doubles the fill rate, so
+/// scarce budget concentrates on high-priority demand without the
+/// waterfall's strict level-by-level descent (a level that cannot be
+/// fully granted still shares with the levels below it).
+///
+/// Convergence: the fill `Σ_i clamp(w_i · θ, 0, ub_i − floor_i)` is
+/// continuous and non-decreasing in θ, so after an exponential bracket
+/// search, bisection pins the target inside [`BISECT_ITERS`] halvings;
+/// the sub-resolution residual is then routed through the same clamped
+/// waterfill the waterfall uses, making conservation exact to f64
+/// rounding rather than to the bisection tolerance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WaterfillingAllocator;
+
+impl Allocator for WaterfillingAllocator {
+    fn name(&self) -> &'static str {
+        "waterfilling"
+    }
+
+    fn split(
+        &self,
+        budget: Watts,
+        children: &[PriorityMetrics],
+        scratch: &mut AllocScratch,
+        budgets: &mut Vec<Watts>,
+    ) -> Watts {
+        budgets.clear();
+        if children.is_empty() {
+            return budget;
+        }
+        let AllocScratch {
+            floors,
+            ubs,
+            weights,
+            wf_weights,
+            wf_rooms,
+            wf_grants,
+            ..
+        } = scratch;
+        fill_floors_and_ubs(children, floors, ubs, |c| c.total_request());
+
+        // Priority-derived fill rates: each level's headroom above its
+        // floor, doubled per priority step. All-zero weights (every child
+        // already at its request) degrade to equal rates.
+        weights.clear();
+        weights.extend(children.iter().map(|c| {
+            c.levels()
+                .iter()
+                .map(|(p, e)| {
+                    let headroom = e.demand.saturating_sub(e.cap_min).as_f64();
+                    headroom * pow2_level(p.level())
+                })
+                .sum::<f64>()
+        }));
+        if weights.iter().all(|&w| w <= 0.0) {
+            weights.iter_mut().for_each(|w| *w = 1.0);
+        }
+
+        solve_monotone_fill(
+            budget,
+            children,
+            &SolverBoxes {
+                floors,
+                ubs,
+                weights,
+            },
+            None,
+            &|i, theta, boxes| {
+                (boxes.weights[i] * theta).min(boxes.ubs[i] - boxes.floors[i])
+            },
+            wf_weights,
+            wf_rooms,
+            wf_grants,
+            budgets,
+        )
+    }
+}
+
+/// FastCap-style fairness: find one normalized loss λ so every child runs
+/// at `b_i = d_i · (1 − λ)`, clamped into `[floor_i, min(d_i,
+/// constraint_i)]` — children shed throughput in equal proportion to
+/// their demand rather than by priority (priority-blind by design; racing
+/// it against the waterfall quantifies what priority ordering costs in
+/// fairness and vice versa).
+///
+/// Convergence: with `t = 1 − λ`, `Σ_i clamp(d_i · t, floor_i, ub_i)` is
+/// continuous and non-decreasing over the fixed bracket `t ∈ [0, 1]`,
+/// bisected for [`BISECT_ITERS`] iterations; the residual top-off and
+/// surplus handling are shared with [`WaterfillingAllocator`] via the
+/// same demand-weighted clamped waterfill.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FairShareAllocator;
+
+impl Allocator for FairShareAllocator {
+    fn name(&self) -> &'static str {
+        "fair_share"
+    }
+
+    fn split(
+        &self,
+        budget: Watts,
+        children: &[PriorityMetrics],
+        scratch: &mut AllocScratch,
+        budgets: &mut Vec<Watts>,
+    ) -> Watts {
+        budgets.clear();
+        if children.is_empty() {
+            return budget;
+        }
+        let AllocScratch {
+            floors,
+            ubs,
+            weights,
+            wf_weights,
+            wf_rooms,
+            wf_grants,
+            ..
+        } = scratch;
+        fill_floors_and_ubs(children, floors, ubs, |c| c.total_demand());
+
+        // Demands double as the top-off weights: the residual spreads in
+        // proportion to demand, preserving the equal-normalized-loss
+        // shape. A child whose demand sits below its floor never sheds
+        // (the clamp holds it at the floor) — FastCap's per-unit minimum
+        // service level.
+        weights.clear();
+        weights.extend(children.iter().map(|c| c.total_demand().as_f64().max(0.0)));
+        if weights.iter().all(|&w| w <= 0.0) {
+            weights.iter_mut().for_each(|w| *w = 1.0);
+        }
+
+        solve_monotone_fill(
+            budget,
+            children,
+            &SolverBoxes {
+                floors,
+                ubs,
+                weights,
+            },
+            Some(1.0),
+            &|i, t, boxes| {
+                (boxes.weights[i] * t - boxes.floors[i])
+                    .max(0.0)
+                    .min(boxes.ubs[i] - boxes.floors[i])
+            },
+            wf_weights,
+            wf_rooms,
+            wf_grants,
+            budgets,
+        )
+    }
+}
+
+/// `2^level` as f64 (level is a u8, so the exponent tops out at 255 —
+/// far below f64 overflow at 2^1024).
+fn pow2_level(level: u8) -> f64 {
+    2.0f64.powi(i32::from(level))
+}
+
+/// Fills `floors[i] = min(cap_min_i, constraint_i)` and
+/// `ubs[i] = max(floor_i, min(upper(child), constraint_i))` in raw watts.
+fn fill_floors_and_ubs(
+    children: &[PriorityMetrics],
+    floors: &mut Vec<f64>,
+    ubs: &mut Vec<f64>,
+    upper: impl Fn(&PriorityMetrics) -> Watts,
+) {
+    floors.clear();
+    floors.extend(
+        children
+            .iter()
+            .map(|c| c.total_cap_min().min(c.constraint()).as_f64()),
+    );
+    ubs.clear();
+    ubs.extend(
+        children
+            .iter()
+            .zip(floors.iter())
+            .map(|(c, &f)| upper(c).min(c.constraint()).as_f64().max(f)),
+    );
+}
+
+/// The per-child box constraints and weights a solver bisects over,
+/// borrowed together so the fill closure can read all three.
+struct SolverBoxes<'a> {
+    /// Per-child lower bounds in raw watts.
+    floors: &'a [f64],
+    /// Per-child upper bounds in raw watts (`ubs[i] ≥ floors[i]`).
+    ubs: &'a [f64],
+    /// Per-child weights for the residual top-off (and, for solvers that
+    /// use them, the fill rate).
+    weights: &'a [f64],
+}
+
+/// The shared solver skeleton: floors first (scaled proportionally when
+/// the budget cannot cover them), then a bisected monotone fill from
+/// `floors` toward `ubs`, a waterfill top-off for the bisection residual,
+/// and finally step-4-style surplus toward each child's constraint.
+/// Returns the unallocated remainder.
+///
+/// `fill_extra(i, t, boxes)` is child `i`'s grant above its floor at
+/// solver parameter `t`, clamped into `[0, ubs[i] − floors[i]]`, and must
+/// be continuous and non-decreasing in `t`. `bracket` fixes the upper
+/// end of the `t` range (e.g. `Some(1.0)` for a normalized parameter);
+/// `None` brackets by exponential doubling from 1.
+#[allow(clippy::too_many_arguments)]
+fn solve_monotone_fill(
+    budget: Watts,
+    children: &[PriorityMetrics],
+    boxes: &SolverBoxes<'_>,
+    bracket: Option<f64>,
+    fill_extra: &dyn Fn(usize, f64, &SolverBoxes<'_>) -> f64,
+    wf_weights: &mut Vec<Watts>,
+    wf_rooms: &mut Vec<Watts>,
+    wf_grants: &mut Vec<Watts>,
+    budgets: &mut Vec<Watts>,
+) -> Watts {
+    let n = children.len();
+    let floor_sum: f64 = boxes.floors.iter().sum();
+
+    // Infeasible budget: scale floors proportionally (the waterfall's
+    // degenerate fallback, kept so every policy conserves identically).
+    if budget.as_f64() < floor_sum {
+        let scale = if floor_sum > 0.0 {
+            budget.as_f64() / floor_sum
+        } else {
+            0.0
+        };
+        budgets.extend(boxes.floors.iter().map(|&f| Watts::new(f * scale)));
+        return Watts::ZERO;
+    }
+
+    budgets.extend(boxes.floors.iter().map(|&f| Watts::new(f)));
+    let mut remaining = budget - Watts::new(floor_sum);
+
+    // Target extra above the floors, capped by the total box room.
+    let room_total: f64 = boxes
+        .ubs
+        .iter()
+        .zip(boxes.floors.iter())
+        .map(|(u, f)| u - f)
+        .sum();
+    let target = remaining.as_f64().min(room_total);
+    if target > 0.0 {
+        // Total fill above the floors at parameter `t`.
+        let total_fill = |t: f64| -> f64 { (0..n).map(|i| fill_extra(i, t, boxes)).sum() };
+        let mut hi = match bracket {
+            Some(hi) => hi,
+            None => {
+                // Exponential bracket: double until the fill covers the
+                // target (or the boxes saturate).
+                let mut hi = 1.0f64;
+                let mut doublings = 0;
+                while total_fill(hi) < target && doublings < 200 {
+                    hi *= 2.0;
+                    doublings += 1;
+                }
+                hi
+            }
+        };
+        let mut lo = 0.0f64;
+        for _ in 0..BISECT_ITERS {
+            let mid = 0.5 * (lo + hi);
+            if total_fill(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Take the under-allocating side, then route the residual through
+        // the clamped waterfill so conservation is exact, not
+        // tolerance-bounded.
+        for (i, b) in budgets.iter_mut().enumerate() {
+            let extra = fill_extra(i, lo, boxes).max(0.0);
+            *b += Watts::new(extra);
+            remaining -= Watts::new(extra);
+        }
+        wf_weights.clear();
+        wf_weights.extend(boxes.weights.iter().map(|&w| Watts::new(w)));
+        wf_rooms.clear();
+        wf_rooms.extend(
+            budgets
+                .iter()
+                .zip(boxes.ubs.iter())
+                .map(|(b, &u)| Watts::new(u).saturating_sub(*b)),
+        );
+        let room_left: Watts = wf_rooms.iter().sum();
+        let top_off = remaining.min(room_left).max(Watts::ZERO);
+        if top_off > Watts::ZERO {
+            waterfill_into(top_off, wf_weights, wf_rooms, wf_grants);
+            for (b, g) in budgets.iter_mut().zip(wf_grants.iter()) {
+                *b += *g;
+                remaining -= *g;
+            }
+        }
+    }
+
+    // Surplus beyond every child's upper bound: fill toward constraints,
+    // exactly like the waterfall's step 4.
+    if remaining > Watts::ZERO {
+        wf_rooms.clear();
+        wf_rooms.extend(
+            children
+                .iter()
+                .zip(budgets.iter())
+                .map(|(c, b)| c.constraint().saturating_sub(*b)),
+        );
+        waterfill_into(remaining, wf_rooms, wf_rooms, wf_grants);
+        for (b, g) in budgets.iter_mut().zip(wf_grants.iter()) {
+            *b += *g;
+            remaining -= *g;
+        }
+    }
+
+    remaining.max(Watts::ZERO)
+}
+
+/// The built-in allocators, selectable by name from configuration, the
+/// daemon CLI, and the policy-arena bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocatorKind {
+    /// The paper's §4.3.2 waterfall ([`WaterfallAllocator`]) — the default.
+    #[default]
+    Waterfall,
+    /// Priority-weighted projected waterfilling
+    /// ([`WaterfillingAllocator`]).
+    Waterfilling,
+    /// FastCap-style normalized-loss fairness ([`FairShareAllocator`]).
+    FairShare,
+}
+
+impl AllocatorKind {
+    /// Every built-in allocator, in presentation order.
+    pub const ALL: [AllocatorKind; 3] = [
+        AllocatorKind::Waterfall,
+        AllocatorKind::Waterfilling,
+        AllocatorKind::FairShare,
+    ];
+
+    /// The stable name — matches [`Allocator::name`] of the boxed
+    /// implementation and the accepted CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::Waterfall => "waterfall",
+            AllocatorKind::Waterfilling => "waterfilling",
+            AllocatorKind::FairShare => "fair_share",
+        }
+    }
+
+    /// Boxes the implementation. The control plane calls this once per
+    /// configuration change and caches the box, so allocator construction
+    /// is off the hot path.
+    pub fn allocator(self) -> Box<dyn Allocator> {
+        match self {
+            AllocatorKind::Waterfall => Box::new(WaterfallAllocator),
+            AllocatorKind::Waterfilling => Box::new(WaterfillingAllocator),
+            AllocatorKind::FairShare => Box::new(FairShareAllocator),
+        }
+    }
+}
+
+impl fmt::Display for AllocatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An unknown allocator name, carrying the offending input; its `Display`
+/// lists the valid spellings so CLI errors are self-explanatory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAllocator(pub String);
+
+impl fmt::Display for UnknownAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown allocator policy {:?}; valid policies: waterfall, waterfilling, fair_share",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownAllocator {}
+
+impl FromStr for AllocatorKind {
+    type Err = UnknownAllocator;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AllocatorKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| UnknownAllocator(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::split_budget;
+    use crate::metrics::LeafInput;
+    use capmaestro_topology::Priority;
+    use capmaestro_units::Ratio;
+
+    /// A leaf summary with the rig's standard controllable range.
+    fn leaf(demand: f64, priority: Priority) -> PriorityMetrics {
+        PriorityMetrics::from_leaf(&LeafInput {
+            demand: Watts::new(demand),
+            cap_min: Watts::new(270.0),
+            cap_max: Watts::new(490.0),
+            share: Ratio::ONE,
+            priority,
+        })
+    }
+
+    /// Runs one allocator on fresh scratch and returns (budgets, leftover).
+    fn run(
+        alloc: &dyn Allocator,
+        budget: f64,
+        children: &[PriorityMetrics],
+    ) -> (Vec<Watts>, Watts) {
+        let mut scratch = AllocScratch::default();
+        let mut budgets = Vec::new();
+        let leftover = alloc.split(Watts::new(budget), children, &mut scratch, &mut budgets);
+        (budgets, leftover)
+    }
+
+    #[test]
+    fn kind_round_trips_names() {
+        for kind in AllocatorKind::ALL {
+            assert_eq!(kind.name().parse::<AllocatorKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.allocator().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_valid_policies() {
+        let err = "nope".parse::<AllocatorKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("nope"), "{msg}");
+        for kind in AllocatorKind::ALL {
+            assert!(msg.contains(kind.name()), "{msg} missing {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn waterfall_is_bit_identical_to_split_budget() {
+        let children = vec![
+            leaf(430.0, Priority(3)),
+            leaf(350.0, Priority(1)),
+            leaf(490.0, Priority(0)),
+            leaf(280.0, Priority(1)),
+        ];
+        for budget in [200.0, 900.0, 1100.0, 1400.0, 2500.0] {
+            let reference = split_budget(Watts::new(budget), &children);
+            let (budgets, leftover) = run(&WaterfallAllocator, budget, &children);
+            for (a, b) in budgets.iter().zip(reference.budgets.iter()) {
+                assert_eq!(a.as_f64().to_bits(), b.as_f64().to_bits());
+            }
+            assert_eq!(
+                leftover.as_f64().to_bits(),
+                reference.unallocated.as_f64().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn all_allocators_handle_empty_children() {
+        for kind in AllocatorKind::ALL {
+            let (budgets, leftover) = run(kind.allocator().as_ref(), 500.0, &[]);
+            assert!(budgets.is_empty());
+            assert_eq!(leftover, Watts::new(500.0));
+        }
+    }
+
+    #[test]
+    fn waterfilling_favors_higher_priority_under_scarcity() {
+        let children = vec![leaf(470.0, Priority::HIGH), leaf(470.0, Priority::LOW)];
+        // Floors 540, +100 W of contested headroom: the high-priority
+        // child's doubled fill rate takes two thirds of it.
+        let (budgets, _) = run(&WaterfillingAllocator, 640.0, &children);
+        assert!(
+            budgets[0] > budgets[1] + Watts::new(20.0),
+            "high priority should fill faster: {budgets:?}"
+        );
+        for b in &budgets {
+            assert!(*b >= Watts::new(270.0) - Watts::new(1e-9));
+        }
+    }
+
+    #[test]
+    fn waterfilling_shares_within_a_level_by_headroom() {
+        // Same priority, demands 470 vs 370 ⇒ headrooms 200 vs 100; the
+        // extra 90 W splits 2:1.
+        let children = vec![leaf(470.0, Priority::LOW), leaf(370.0, Priority::LOW)];
+        let (budgets, _) = run(&WaterfillingAllocator, 630.0, &children);
+        assert!(
+            budgets[0].approx_eq(Watts::new(330.0), Watts::new(1e-6)),
+            "{budgets:?}"
+        );
+        assert!(
+            budgets[1].approx_eq(Watts::new(300.0), Watts::new(1e-6)),
+            "{budgets:?}"
+        );
+    }
+
+    #[test]
+    fn fair_share_equalizes_normalized_loss() {
+        // Demands 480 and 400, budget 770: the unclamped fair point is
+        // t = 770/880 = 0.875 ⇒ budgets 420/350, both inside their boxes,
+        // with equal normalized loss 0.125.
+        let children = vec![leaf(480.0, Priority::LOW), leaf(400.0, Priority::HIGH)];
+        let (budgets, leftover) = run(&FairShareAllocator, 770.0, &children);
+        let loss_a = 1.0 - budgets[0].as_f64() / 480.0;
+        let loss_b = 1.0 - budgets[1].as_f64() / 400.0;
+        assert!(
+            (loss_a - loss_b).abs() < 1e-6,
+            "losses diverge: {loss_a} vs {loss_b} ({budgets:?})"
+        );
+        assert!(leftover.approx_eq(Watts::ZERO, Watts::new(1e-6)));
+        // Priority-blind: the HIGH child sheds proportionally too.
+        assert!(budgets[1] < Watts::new(400.0));
+    }
+
+    #[test]
+    fn solvers_conserve_and_respect_boxes() {
+        let children = vec![
+            leaf(430.0, Priority(3)),
+            leaf(350.0, Priority(1)),
+            leaf(490.0, Priority(0)),
+            leaf(280.0, Priority(1)),
+        ];
+        for kind in AllocatorKind::ALL {
+            let alloc = kind.allocator();
+            for budget in [100.0, 900.0, 1100.0, 1400.0, 2500.0] {
+                let (budgets, leftover) = run(alloc.as_ref(), budget, &children);
+                assert_eq!(budgets.len(), children.len());
+                let total: Watts = budgets.iter().sum();
+                assert!(
+                    (total + leftover).approx_eq(Watts::new(budget), Watts::new(1e-6)),
+                    "{kind}: budget {budget} not conserved (Σ {total} + {leftover})"
+                );
+                for (b, c) in budgets.iter().zip(children.iter()) {
+                    assert!(b.as_f64().is_finite());
+                    assert!(*b >= Watts::ZERO);
+                    assert!(
+                        *b <= c.constraint() + Watts::new(1e-6),
+                        "{kind}: {b} over constraint {}",
+                        c.constraint()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solvers_scale_floors_when_infeasible() {
+        let children = vec![leaf(430.0, Priority::LOW), leaf(430.0, Priority::LOW)];
+        for kind in AllocatorKind::ALL {
+            let (budgets, leftover) = run(kind.allocator().as_ref(), 270.0, &children);
+            assert!(
+                budgets[0].approx_eq(Watts::new(135.0), Watts::new(1e-9)),
+                "{kind}: {budgets:?}"
+            );
+            assert!(budgets[1].approx_eq(Watts::new(135.0), Watts::new(1e-9)));
+            assert_eq!(leftover, Watts::ZERO);
+        }
+    }
+
+    #[test]
+    fn solvers_route_surplus_to_constraints() {
+        let children = vec![leaf(300.0, Priority::LOW), leaf(300.0, Priority::LOW)];
+        for kind in AllocatorKind::ALL {
+            let (budgets, leftover) = run(kind.allocator().as_ref(), 1200.0, &children);
+            assert!(
+                budgets[0].approx_eq(Watts::new(490.0), Watts::new(1e-6)),
+                "{kind}: {budgets:?}"
+            );
+            assert!(budgets[1].approx_eq(Watts::new(490.0), Watts::new(1e-6)));
+            assert!(leftover.approx_eq(Watts::new(220.0), Watts::new(1e-6)));
+        }
+    }
+
+    #[test]
+    fn allocators_reuse_scratch_across_policy_switches() {
+        // One scratch serves every policy back to back — the plane swaps
+        // allocators between rounds without rebuilding its round context.
+        let children = vec![leaf(430.0, Priority::HIGH), leaf(430.0, Priority::LOW)];
+        let mut scratch = AllocScratch::default();
+        let mut budgets = Vec::new();
+        for _ in 0..3 {
+            for kind in AllocatorKind::ALL {
+                let leftover = kind.allocator().split(
+                    Watts::new(700.0),
+                    &children,
+                    &mut scratch,
+                    &mut budgets,
+                );
+                let total: Watts = budgets.iter().sum();
+                assert!((total + leftover).approx_eq(Watts::new(700.0), Watts::new(1e-6)));
+            }
+        }
+    }
+}

@@ -54,8 +54,15 @@ fn waterfill(amount: Watts, weights: &[Watts], rooms: &[Watts]) -> Vec<Watts> {
 }
 
 /// In-place variant of [`waterfill`]: grants are written into `grants`,
-/// reusing its capacity.
-fn waterfill_into(amount: Watts, weights: &[Watts], rooms: &[Watts], grants: &mut Vec<Watts>) {
+/// reusing its capacity. Crate-visible so the solver allocators in
+/// [`crate::alloc`] share the same clamped-fill primitive (and therefore
+/// the same conservation epsilon) as the waterfall.
+pub(crate) fn waterfill_into(
+    amount: Watts,
+    weights: &[Watts],
+    rooms: &[Watts],
+    grants: &mut Vec<Watts>,
+) {
     debug_assert_eq!(weights.len(), rooms.len());
     let n = weights.len();
     grants.clear();

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc;
 pub mod budget;
 pub mod capping;
 pub mod estimator;
@@ -62,6 +63,10 @@ pub mod tree;
 pub mod wire;
 pub mod workers;
 
+pub use alloc::{
+    AllocScratch, Allocator, AllocatorKind, FairShareAllocator, WaterfallAllocator,
+    WaterfillingAllocator,
+};
 pub use budget::{split_budget, BudgetSplit};
 pub use capping::{CappingController, CombinedBudgetController};
 pub use estimator::{DemandEstimator, SampleFate};

@@ -19,12 +19,13 @@ use capmaestro_server::{SensorSnapshot, Server, ServerMut, ServerRef, ServerSlab
 use capmaestro_topology::{FeedId, ServerId, SupplyIndex};
 use capmaestro_units::{Seconds, Watts};
 
+use crate::alloc::{Allocator, AllocatorKind};
 use crate::capping::CappingController;
 use crate::estimator::{DemandEstimator, SampleFate};
 use crate::obs::{names, null_recorder, PhaseTimer, Recorder, RoundPhase};
 use crate::par::{par_for_each_mut, par_map, par_map_mut, par_map_range};
 use crate::policy::{CappingPolicy, PolicyKind};
-use crate::spo::{optimize_stranded_power_in, optimize_stranded_power_par, SpoScratch};
+use crate::spo::{optimize_stranded_power_in, optimize_stranded_power_par_with, SpoScratch};
 use crate::tree::{Allocation, ControlTree, SupplyInput, TreeRoundState};
 
 /// The population of servers under management, keyed by id.
@@ -317,6 +318,9 @@ impl SenseBuffer {
 pub struct PlaneConfig {
     /// The capping policy.
     pub policy: PolicyKind,
+    /// The budget-split allocator raced at every tree node (the paper's
+    /// §4.3.2 waterfall by default; see [`crate::alloc`]).
+    pub allocator: AllocatorKind,
     /// Whether to run the stranded-power optimization each round (§4.4).
     pub spo: bool,
     /// The control period (8 s in the paper's deployment).
@@ -335,6 +339,7 @@ impl Default for PlaneConfig {
     fn default() -> Self {
         PlaneConfig {
             policy: PolicyKind::GlobalPriority,
+            allocator: AllocatorKind::Waterfall,
             spo: true,
             control_period: Seconds::new(8.0),
             staleness: StalenessConfig::default(),
@@ -349,6 +354,7 @@ impl PartialEq for PlaneConfig {
     /// the same sink.
     fn eq(&self, other: &Self) -> bool {
         self.policy == other.policy
+            && self.allocator == other.allocator
             && self.spo == other.spo
             && self.control_period == other.control_period
             && self.staleness == other.staleness
@@ -361,6 +367,13 @@ impl PlaneConfig {
     #[must_use]
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Returns the config with the budget-split allocator replaced.
+    #[must_use]
+    pub fn with_allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.allocator = allocator;
         self
     }
 
@@ -629,6 +642,9 @@ struct RoundContext {
     phase_members: Vec<usize>,
     /// The policy object, rebuilt only when the configured kind changes.
     policy: Option<(PolicyKind, Box<dyn CappingPolicy + Send + Sync>)>,
+    /// The budget-split allocator, rebuilt only when the configured kind
+    /// changes.
+    allocator: Option<(AllocatorKind, Box<dyn Allocator>)>,
     spo: SpoScratch,
     /// Per-tree incremental gather state for the SPO-disabled path.
     plain_states: Vec<TreeRoundState>,
@@ -650,6 +666,7 @@ impl Default for RoundContext {
             tree_demands: Vec::new(),
             phase_members: Vec::new(),
             policy: None,
+            allocator: None,
             spo: SpoScratch::new(),
             plain_states: Vec::new(),
             report: RoundReport::empty(),
@@ -1173,23 +1190,6 @@ impl ControlPlane {
             .unwrap_or(fallback)
     }
 
-    /// Deprecated alias for [`ControlPlane::round`] that clones the
-    /// report. Migrate to `plane.round(farm)` (and `.clone()` only where
-    /// an owned report is genuinely needed).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ControlPlane::round`, which returns `&RoundReport`"
-    )]
-    pub fn run_round(&mut self, farm: &mut Farm) -> RoundReport {
-        self.round(farm).clone()
-    }
-
-    /// Deprecated former name of [`ControlPlane::round`].
-    #[deprecated(since = "0.1.0", note = "renamed to `ControlPlane::round`")]
-    pub fn run_round_cached(&mut self, farm: &mut Farm) -> &RoundReport {
-        self.round(farm)
-    }
-
     /// The report of the last completed round, if any round has run since
     /// construction / [`ControlPlane::reset_round_cache`].
     pub fn last_report(&self) -> Option<&RoundReport> {
@@ -1376,6 +1376,7 @@ impl ControlPlane {
             tree_demands,
             phase_members,
             policy,
+            allocator,
             spo,
             plain_states,
             report,
@@ -1394,12 +1395,21 @@ impl ControlPlane {
             *policy = Some((self.config.policy, self.config.policy.policy()));
         }
         let policy_dyn = policy.as_ref().expect("policy cached above").1.as_ref();
+        if allocator.as_ref().map(|(kind, _)| *kind) != Some(self.config.allocator) {
+            *allocator = Some((self.config.allocator, self.config.allocator.allocator()));
+        }
+        let allocator_dyn = allocator
+            .as_ref()
+            .expect("allocator cached above")
+            .1
+            .as_ref();
         report.stranded_reclaimed = if self.config.spo {
             if threads <= 1 {
                 optimize_stranded_power_in(
                     trees,
                     root_budgets,
                     policy_dyn,
+                    allocator_dyn,
                     spo,
                     &mut report.allocations,
                     recorder,
@@ -1409,8 +1419,13 @@ impl ControlPlane {
                 // the whole sweep is attributed to the SPO span.
                 let spo_timer =
                     PhaseTimer::start(recorder, RoundPhase::Spo.metric_name());
-                let outcome =
-                    optimize_stranded_power_par(trees, root_budgets, policy_dyn, threads);
+                let outcome = optimize_stranded_power_par_with(
+                    trees,
+                    root_budgets,
+                    policy_dyn,
+                    allocator_dyn,
+                    threads,
+                );
                 drop(spo_timer);
                 recorder.observe(RoundPhase::Allocate.metric_name(), 0.0);
                 let total = outcome.total_stranded();
@@ -1434,6 +1449,7 @@ impl ControlPlane {
                     trees[i].allocate_in(
                         root_budgets[i],
                         policy_dyn,
+                        allocator_dyn,
                         &mut plain_states[i],
                         None,
                         &mut report.allocations[i],
@@ -1444,8 +1460,9 @@ impl ControlPlane {
                     .iter()
                     .zip(root_budgets.iter().copied())
                     .collect();
-                report.allocations =
-                    par_map(&pairs, threads, |&(t, b)| t.allocate(b, policy_dyn));
+                report.allocations = par_map(&pairs, threads, |&(t, b)| {
+                    t.allocate_with(b, policy_dyn, allocator_dyn)
+                });
             }
             drop(allocate_timer);
             // SPO is off: record an explicit zero so the phase series
@@ -1724,32 +1741,6 @@ mod tests {
             buf.entries()[slot].1.supply_ac.as_ptr(),
             ptr_before,
             "re-copy must reuse the entry's existing allocation"
-        );
-    }
-
-    /// The deprecated `run_round`/`run_round_cached` aliases must keep
-    /// delegating to [`ControlPlane::round`] bit for bit until removal.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_round_aliases_delegate_to_round() {
-        let (_, mut farm_a, mut plane_a) = fig2_plane(PolicyKind::GlobalPriority);
-        let (_, mut farm_b, mut plane_b) = fig2_plane(PolicyKind::GlobalPriority);
-        for _ in 0..8 {
-            plane_a.record_sample(&farm_a);
-            plane_b.record_sample(&farm_b);
-            farm_a.step_all(Seconds::new(1.0));
-            farm_b.step_all(Seconds::new(1.0));
-        }
-        let owned = plane_a.run_round(&mut farm_a);
-        let cached = plane_b.run_round_cached(&mut farm_b).clone();
-        assert_eq!(owned.dc_caps.len(), cached.dc_caps.len());
-        for (id, cap) in &owned.dc_caps {
-            let other = cached.dc_caps[id];
-            assert_eq!(cap.as_f64().to_bits(), other.as_f64().to_bits(), "{id:?}");
-        }
-        assert_eq!(
-            owned.stranded_reclaimed.as_f64().to_bits(),
-            cached.stranded_reclaimed.as_f64().to_bits()
         );
     }
 

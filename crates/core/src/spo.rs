@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use capmaestro_topology::{ServerId, SupplyIndex};
 use capmaestro_units::Watts;
 
+use crate::alloc::{Allocator, WaterfallAllocator};
 use crate::obs::{PhaseTimer, Recorder, RoundPhase};
 use crate::par::{par_for_each_mut, par_map};
 use crate::policy::CappingPolicy;
@@ -182,6 +183,23 @@ pub fn optimize_stranded_power(
     root_budgets: &[Watts],
     policy: &dyn CappingPolicy,
 ) -> SpoOutcome {
+    optimize_stranded_power_with(trees, root_budgets, policy, &WaterfallAllocator)
+}
+
+/// [`optimize_stranded_power`] with an explicit budget-split
+/// [`Allocator`] — both SPO passes run the same allocator the plain
+/// allocation rounds use, so policy selection stays consistent across a
+/// round.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn optimize_stranded_power_with(
+    trees: &[ControlTree],
+    root_budgets: &[Watts],
+    policy: &dyn CappingPolicy,
+    allocator: &dyn Allocator,
+) -> SpoOutcome {
     assert_eq!(
         trees.len(),
         root_budgets.len(),
@@ -192,7 +210,7 @@ pub fn optimize_stranded_power(
     let first: Vec<Allocation> = trees
         .iter()
         .zip(root_budgets)
-        .map(|(t, &b)| t.allocate(b, policy))
+        .map(|(t, &b)| t.allocate_with(b, policy, allocator))
         .collect();
 
     let (stranded, adjusted) = detect_strands(trees, &first);
@@ -206,7 +224,7 @@ pub fn optimize_stranded_power(
     let second: Vec<Allocation> = trees2
         .iter()
         .zip(root_budgets)
-        .map(|(t, &b)| t.allocate(b, policy))
+        .map(|(t, &b)| t.allocate_with(b, policy, allocator))
         .collect();
 
     SpoOutcome {
@@ -231,8 +249,25 @@ pub fn optimize_stranded_power_par(
     policy: &(dyn CappingPolicy + Sync),
     threads: usize,
 ) -> SpoOutcome {
+    optimize_stranded_power_par_with(trees, root_budgets, policy, &WaterfallAllocator, threads)
+}
+
+/// [`optimize_stranded_power_par`] with an explicit budget-split
+/// [`Allocator`]. Bit-identical to [`optimize_stranded_power_with`] on the
+/// same inputs for every thread count.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn optimize_stranded_power_par_with(
+    trees: &[ControlTree],
+    root_budgets: &[Watts],
+    policy: &(dyn CappingPolicy + Sync),
+    allocator: &dyn Allocator,
+    threads: usize,
+) -> SpoOutcome {
     if threads <= 1 {
-        return optimize_stranded_power(trees, root_budgets, policy);
+        return optimize_stranded_power_with(trees, root_budgets, policy, allocator);
     }
     assert_eq!(
         trees.len(),
@@ -242,7 +277,7 @@ pub fn optimize_stranded_power_par(
     let allocate_all = |ts: &[ControlTree]| -> Vec<Allocation> {
         let pairs: Vec<(&ControlTree, Watts)> =
             ts.iter().zip(root_budgets.iter().copied()).collect();
-        par_map(&pairs, threads, |&(t, b)| t.allocate(b, policy))
+        par_map(&pairs, threads, |&(t, b)| t.allocate_with(b, policy, allocator))
     };
 
     let first = allocate_all(trees);
@@ -420,7 +455,7 @@ impl SpoScratch {
 /// `second` (buffers reused) and returns the total stranded power detected
 /// in the first pass, summed in `(server, supply)` order.
 ///
-/// Bit-identical to [`optimize_stranded_power`] on the same inputs.
+/// Bit-identical to [`optimize_stranded_power_with`] on the same inputs.
 ///
 /// The caller must call [`SpoScratch::invalidate`] whenever the tree set
 /// changes between rounds.
@@ -432,6 +467,7 @@ pub fn optimize_stranded_power_in(
     trees: &[ControlTree],
     root_budgets: &[Watts],
     policy: &dyn CappingPolicy,
+    allocator: &dyn Allocator,
     scratch: &mut SpoScratch,
     second: &mut Vec<Allocation>,
     recorder: &dyn Recorder,
@@ -466,6 +502,7 @@ pub fn optimize_stranded_power_in(
         trees[i].allocate_in(
             root_budgets[i],
             policy,
+            allocator,
             &mut scratch.states1[i],
             None,
             &mut scratch.first[i],
@@ -540,6 +577,7 @@ pub fn optimize_stranded_power_in(
         trees[i].allocate_in(
             root_budgets[i],
             policy,
+            allocator,
             &mut scratch.states2[i],
             Some(&scratch.overlays[i]),
             &mut second[i],
@@ -837,6 +875,7 @@ mod tests {
                 &trees,
                 budgets,
                 &policy,
+                &WaterfallAllocator,
                 &mut scratch,
                 &mut second,
                 &crate::obs::NullRecorder,

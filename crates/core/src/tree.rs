@@ -16,7 +16,7 @@ use std::sync::Arc;
 use capmaestro_topology::{ControlTreeSpec, Priority, ServerId, SupplyIndex};
 use capmaestro_units::{Ratio, Watts};
 
-use crate::budget::{split_budget_into, SplitScratch};
+use crate::alloc::{AllocScratch, Allocator, WaterfallAllocator};
 use crate::metrics::{LeafInput, PriorityMetrics};
 use crate::policy::{CappingPolicy, NodeContext, PriorityVisibility};
 
@@ -290,12 +290,15 @@ impl Allocation {
 pub struct TreeRoundState {
     valid: bool,
     policy_name: String,
+    /// Name of the [`Allocator`] the cached budget-down scratch last
+    /// served; an allocator swap invalidates the state like a policy swap.
+    allocator_name: String,
     metrics: Vec<PriorityMetrics>,
     dirty: Vec<bool>,
     seen_gens: Vec<u64>,
     last_leaves: Vec<Option<(SupplyInput, Priority)>>,
     children_scratch: Vec<PriorityMetrics>,
-    split_scratch: SplitScratch,
+    alloc_scratch: AllocScratch,
     split_budgets: Vec<Watts>,
     /// Cumulative count of nodes whose summary was recomputed (dirty).
     summarized: u64,
@@ -506,7 +509,8 @@ impl ControlTree {
     }
 
     /// Runs one full control round: gather metrics, then distribute
-    /// `root_budget` down the tree under `policy`.
+    /// `root_budget` down the tree under `policy` with the default
+    /// [`WaterfallAllocator`] (the paper's §4.3.2 split).
     ///
     /// This is the from-scratch path: every subtree is re-summarized and
     /// the result is freshly allocated. The incremental equivalent is
@@ -518,9 +522,24 @@ impl ControlTree {
     ///
     /// Panics if the tree is empty or any leaf lacks an input.
     pub fn allocate(&self, root_budget: Watts, policy: &dyn CappingPolicy) -> Allocation {
+        self.allocate_with(root_budget, policy, &WaterfallAllocator)
+    }
+
+    /// [`ControlTree::allocate`] with an explicit per-node budget-split
+    /// [`Allocator`] instead of the default waterfall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty or any leaf lacks an input.
+    pub fn allocate_with(
+        &self,
+        root_budget: Watts,
+        policy: &dyn CappingPolicy,
+        allocator: &dyn Allocator,
+    ) -> Allocation {
         let mut state = TreeRoundState::new();
         let mut out = Allocation::default();
-        self.allocate_in(root_budget, policy, &mut state, None, &mut out);
+        self.allocate_in(root_budget, policy, allocator, &mut state, None, &mut out);
         out
     }
 
@@ -530,8 +549,9 @@ impl ControlTree {
     /// descendant (generation-stamp or value change on a leaf input /
     /// priority, or an `overlay` difference) are re-summarized; clean nodes
     /// reuse the [`PriorityMetrics`] cached in `state` — then runs the
-    /// budget-down pass into `out`, reusing its buffers. Performs no heap
-    /// allocation once `state` and `out` are warm.
+    /// budget-down pass through `allocator` into `out`, reusing its
+    /// buffers. Performs no heap allocation once `state` and `out` are
+    /// warm.
     ///
     /// `overlay`, when present, is a spec-indexed slice of per-leaf input
     /// replacements (used by the stranded-power optimizer's second pass):
@@ -546,6 +566,7 @@ impl ControlTree {
         &self,
         root_budget: Watts,
         policy: &dyn CappingPolicy,
+        allocator: &dyn Allocator,
         state: &mut TreeRoundState,
         overlay: Option<&[Option<SupplyInput>]>,
         out: &mut Allocation,
@@ -555,11 +576,17 @@ impl ControlTree {
         if let Some(o) = overlay {
             assert_eq!(o.len(), n, "overlay must be spec-indexed");
         }
-        // (Re)shape the state and invalidate on tree or policy change.
-        if state.metrics.len() != n || state.policy_name != policy.name() {
+        // (Re)shape the state and invalidate on tree, policy, or allocator
+        // change.
+        if state.metrics.len() != n
+            || state.policy_name != policy.name()
+            || state.allocator_name != allocator.name()
+        {
             state.valid = false;
             state.policy_name.clear();
             state.policy_name.push_str(policy.name());
+            state.allocator_name.clear();
+            state.allocator_name.push_str(allocator.name());
             state.metrics.clear();
             state.metrics.resize_with(n, PriorityMetrics::default);
             state.dirty.clear();
@@ -646,7 +673,7 @@ impl ControlTree {
         let TreeRoundState {
             metrics,
             children_scratch,
-            split_scratch,
+            alloc_scratch,
             split_budgets,
             ..
         } = state;
@@ -669,10 +696,10 @@ impl ControlTree {
                     }
                 }
             }
-            let leftover = split_budget_into(
+            let leftover = allocator.split(
                 out.node_budgets[idx],
                 &children_scratch[..children.len()],
-                split_scratch,
+                alloc_scratch,
                 split_budgets,
             );
             for (&child, budget) in children.iter().zip(split_budgets.iter()) {

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use capmaestro_core::obs::{json, prometheus, MetricsRegistry};
 use capmaestro_core::workers::leaf_statics;
-use capmaestro_core::{DeploymentConfig, PolicyKind, WorkerDeployment};
+use capmaestro_core::{AllocatorKind, DeploymentConfig, PolicyKind, WorkerDeployment};
 use capmaestro_sim::scenarios::{priority_rig, RigConfig};
 use capmaestro_sim::Engine;
 
@@ -44,6 +44,9 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Whether the rig runs with supply-priority overdraw (SPO) on.
     pub spo: bool,
+    /// The budget-split allocator the control plane races at every tree
+    /// node (`--policy`; the paper's waterfall by default).
+    pub allocator: AllocatorKind,
     /// Quit when stdin closes or delivers a `quit` line.
     pub quit_on_stdin: bool,
     /// Hard wall-clock stop, regardless of simulated progress.
@@ -68,6 +71,7 @@ impl Default for DaemonConfig {
             accel: 1.0,
             workers: 2,
             spo: true,
+            allocator: AllocatorKind::Waterfall,
             quit_on_stdin: false,
             wall_limit: None,
             agents: 0,
@@ -92,7 +96,8 @@ capmaestrod — CapMaestro serving daemon
 
 USAGE:
     capmaestrod [--addr HOST:PORT | --port PORT] [--seconds N] [--accel F]
-                [--workers N] [--no-spo] [--quit-on-stdin] [--wall-limit-s N]
+                [--workers N] [--no-spo] [--policy NAME] [--quit-on-stdin]
+                [--wall-limit-s N]
     capmaestrod --agents N [--agent-addr HOST:PORT] [--rig SPEC] [...]
     capmaestrod --probe HOST:PORT
 
@@ -103,6 +108,8 @@ OPTIONS:
     --accel F          simulated seconds per wall second (default 1; 0 = flat out)
     --workers N        http worker threads (default 2)
     --no-spo           disable supply-priority overdraw in the rig
+    --policy NAME      budget-split allocator: waterfall (default),
+                       waterfilling, or fair_share (engine mode only)
     --quit-on-stdin    exit when stdin closes or receives a 'quit' line
     --wall-limit-s N   hard wall-clock stop after N seconds
     --agents N         room-controller mode: run the control plane over N
@@ -159,6 +166,11 @@ pub fn parse_args(args: &[String]) -> Result<DaemonCommand, String> {
                     .map_err(|_| "--workers needs a positive integer".to_string())?;
             }
             "--no-spo" => config.spo = false,
+            "--policy" => {
+                config.allocator = value_for("--policy")?
+                    .parse::<AllocatorKind>()
+                    .map_err(|e| e.to_string())?;
+            }
             "--quit-on-stdin" => config.quit_on_stdin = true,
             "--wall-limit-s" => {
                 let secs: u64 = value_for("--wall-limit-s")?
@@ -208,17 +220,28 @@ pub fn drive_second(engine: &mut Engine, state: &ServeState) -> bool {
 /// simulated seconds executed.
 pub fn run(config: &DaemonConfig) -> Result<u64, String> {
     if config.agents > 0 {
+        if config.allocator != AllocatorKind::Waterfall {
+            return Err(format!(
+                "--policy {} is not supported with --agents: the distributed \
+                 rack workers run the paper's waterfall only",
+                config.allocator
+            ));
+        }
         return run_room(config);
     }
-    let rig = priority_rig(RigConfig::table2().with_spo(config.spo));
+    let rig = priority_rig(
+        RigConfig::table2()
+            .with_spo(config.spo)
+            .with_allocator(config.allocator),
+    );
     let registry = Arc::new(MetricsRegistry::new());
     let mut engine = Engine::new(rig);
     engine.plane_mut().set_recorder(registry.clone());
 
-    let state = Arc::new(ServeState::new(
-        registry.clone(),
-        engine.control_period_s(),
-    ));
+    let state = Arc::new(
+        ServeState::new(registry.clone(), engine.control_period_s())
+            .with_policy_label(config.allocator.name()),
+    );
     let router = Router::new(state.clone(), registry.clone());
     let http_config = HttpConfig::default()
         .with_addr(config.addr.clone())
@@ -315,7 +338,10 @@ fn run_room(config: &DaemonConfig) -> Result<u64, String> {
         DeploymentConfig::default().with_recorder(registry.clone()),
     );
 
-    let state = Arc::new(ServeState::new(registry.clone(), 1));
+    let state = Arc::new(
+        ServeState::new(registry.clone(), 1)
+            .with_policy_label(AllocatorKind::Waterfall.name()),
+    );
     let router = Router::new(state.clone(), registry.clone());
     let http_config = HttpConfig::default()
         .with_addr(config.addr.clone())
@@ -451,4 +477,52 @@ pub fn probe(addr: &str) -> Result<String, String> {
         .map_err(|e| format!("second /metrics payload does not validate: {e}"))?;
     transcript.push_str("probe: all endpoints healthy\n");
     Ok(transcript)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn policy_flag_selects_the_allocator() {
+        let parsed = parse_args(&args(&["--policy", "waterfilling"])).expect("valid flag");
+        match parsed {
+            DaemonCommand::Run(config) => {
+                assert_eq!(config.allocator, AllocatorKind::Waterfilling);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+        // Default stays the paper's waterfall.
+        match parse_args(&[]).expect("empty args") {
+            DaemonCommand::Run(config) => {
+                assert_eq!(config.allocator, AllocatorKind::Waterfall);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_policy_name_is_rejected_with_the_valid_list() {
+        let err = parse_args(&args(&["--policy", "bogus"])).expect_err("bogus policy");
+        assert!(err.contains("bogus"), "error names the offender: {err}");
+        assert!(
+            err.contains("waterfall") && err.contains("fair_share"),
+            "error lists the valid policies: {err}"
+        );
+    }
+
+    #[test]
+    fn non_waterfall_policy_is_rejected_in_room_mode() {
+        let config = DaemonConfig {
+            agents: 2,
+            allocator: AllocatorKind::FairShare,
+            ..DaemonConfig::default()
+        };
+        let err = run(&config).expect_err("room mode is waterfall-only");
+        assert!(err.contains("--agents"), "error explains the conflict: {err}");
+    }
 }

@@ -136,6 +136,9 @@ pub struct ServeState {
     budget_min: Watts,
     /// See `budget_min`.
     budget_max: Watts,
+    /// The active budget-split allocator's name; when set, `/report`
+    /// payloads carry it as a top-level `"policy"` key.
+    policy_label: Option<&'static str>,
     /// Pre-rendered JSON of the latest `RoundReport`'s metrics snapshot.
     report_json: RwLock<Option<String>>,
     /// Health fields behind one short-lived lock.
@@ -157,6 +160,7 @@ impl ServeState {
             unhealthy_after: Duration::from_secs(window_s),
             budget_min: Watts::new(1.0),
             budget_max: Watts::new(10_000_000.0),
+            policy_label: None,
             report_json: RwLock::new(None),
             health: Mutex::new(HealthInner::default()),
             pending: Mutex::new(None),
@@ -166,6 +170,15 @@ impl ServeState {
     /// Override the staleness window for `/healthz`.
     pub fn with_unhealthy_after(mut self, window: Duration) -> Self {
         self.unhealthy_after = window;
+        self
+    }
+
+    /// Label `/report` payloads with the active budget-split allocator:
+    /// a top-level `"policy"` key is prepended to every published
+    /// snapshot. The snapshot parser tolerates the extra key, so probes
+    /// of older daemons keep working.
+    pub fn with_policy_label(mut self, name: &'static str) -> Self {
+        self.policy_label = Some(name);
         self
     }
 
@@ -198,10 +211,20 @@ impl ServeState {
         }
         if round_ran {
             if let Some(report) = engine.last_round_report() {
-                let rendered = json::snapshot(&report.metrics_snapshot());
+                let rendered = self.label_report(json::snapshot(&report.metrics_snapshot()));
                 let mut slot = self.report_json.write().unwrap_or_else(|p| p.into_inner());
                 *slot = Some(rendered);
             }
+        }
+    }
+
+    /// Prepend the `"policy"` key to a rendered snapshot when a label is
+    /// configured (the snapshot opens with `{`, so one `replacen` puts
+    /// the key first).
+    fn label_report(&self, rendered: String) -> String {
+        match self.policy_label {
+            Some(name) => rendered.replacen('{', &format!("{{\n  \"policy\": \"{name}\","), 1),
+            None => rendered,
         }
     }
 
@@ -220,7 +243,7 @@ impl ServeState {
             health.rounds_total += 1;
             health.last_round = Some(Instant::now());
         }
-        let rendered = json::snapshot(&self.registry.snapshot());
+        let rendered = self.label_report(json::snapshot(&self.registry.snapshot()));
         let mut slot = self.report_json.write().unwrap_or_else(|p| p.into_inner());
         *slot = Some(rendered);
     }

@@ -103,6 +103,33 @@ fn report_endpoint_round_trips_through_the_json_parser() {
 }
 
 #[test]
+fn report_carries_the_policy_label_and_still_parses() {
+    let mut stack = Stack::priority();
+    // Rebuild the state with a policy label, as the daemon does.
+    let registry = stack.state.registry().clone();
+    let state = Arc::new(
+        ServeState::new(registry.clone(), stack.engine.control_period_s())
+            .with_policy_label("waterfilling"),
+    );
+    let router = Router::new(state.clone(), registry);
+    let server =
+        HttpServer::bind(HttpConfig::default(), Arc::new(router)).expect("bind labeled server");
+    let addr = server.local_addr().to_string();
+
+    for _ in 0..9 {
+        drive_second(&mut stack.engine, &state);
+    }
+    let response = client::get(&addr, "/report").expect("get /report");
+    assert_eq!(response.status, 200);
+    let body = response.body_str().expect("utf-8 body");
+    assert!(
+        body.contains("\"policy\": \"waterfilling\""),
+        "report must name the active allocator: {body}"
+    );
+    json::parse(body).expect("labeled report still parses as a metrics snapshot");
+}
+
+#[test]
 fn healthz_reports_ok_then_flips_unhealthy_when_rounds_stall() {
     let mut stack = Stack::priority();
     // Tight staleness window so the test can observe the flip quickly.

@@ -1,5 +1,6 @@
 //! Ready-to-run builds of the paper's experimental rigs.
 
+use capmaestro_core::alloc::AllocatorKind;
 use capmaestro_core::plane::{BudgetSource, ControlPlane, Farm, PlaneConfig};
 use capmaestro_core::policy::PolicyKind;
 use capmaestro_core::tree::ControlTree;
@@ -20,6 +21,8 @@ pub struct RigConfig {
     pub demands: [f64; 4],
     /// The capping policy.
     pub policy: PolicyKind,
+    /// The budget-split allocator raced at every tree node.
+    pub allocator: AllocatorKind,
     /// Run the stranded-power optimization each round.
     pub spo: bool,
     /// PSU conversion efficiency.
@@ -32,6 +35,7 @@ impl RigConfig {
         RigConfig {
             demands: [420.0, 413.0, 417.0, 423.0],
             policy: PolicyKind::GlobalPriority,
+            allocator: AllocatorKind::Waterfall,
             spo: false,
             efficiency: 0.94,
         }
@@ -42,6 +46,7 @@ impl RigConfig {
         RigConfig {
             demands: [414.0, 415.0, 433.0, 439.0],
             policy: PolicyKind::GlobalPriority,
+            allocator: AllocatorKind::Waterfall,
             spo: true,
             efficiency: 0.94,
         }
@@ -51,6 +56,13 @@ impl RigConfig {
     #[must_use]
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Selects the budget-split allocator (builder-style).
+    #[must_use]
+    pub fn with_allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.allocator = allocator;
         self
     }
 
@@ -112,6 +124,7 @@ pub fn priority_rig(config: RigConfig) -> Rig {
         vec![Watts::new(1240.0)],
         PlaneConfig::default()
             .with_policy(config.policy)
+            .with_allocator(config.allocator)
             .with_spo(config.spo)
             .with_control_period(Seconds::new(8.0)),
     );
@@ -158,6 +171,7 @@ pub fn stranded_rig(config: RigConfig) -> Rig {
         vec![Watts::new(700.0), Watts::new(700.0)],
         PlaneConfig::default()
             .with_policy(config.policy)
+            .with_allocator(config.allocator)
             .with_spo(config.spo)
             .with_control_period(Seconds::new(8.0)),
     );
@@ -232,6 +246,8 @@ pub struct DataCenterRigConfig {
     pub split_jitter: f64,
     /// Capping policy.
     pub policy: PolicyKind,
+    /// The budget-split allocator raced at every tree node.
+    pub allocator: AllocatorKind,
     /// Run SPO each round.
     pub spo: bool,
     /// Contractual budget per phase, shared across feeds (already
@@ -250,6 +266,7 @@ impl Default for DataCenterRigConfig {
             jitter_std: 0.05,
             split_jitter: 0.1,
             policy: PolicyKind::GlobalPriority,
+            allocator: AllocatorKind::Waterfall,
             spo: false,
             contractual_per_phase: Watts::from_kilowatts(700.0) * 0.95,
             seed: 0xD47ACE,
@@ -321,6 +338,7 @@ pub fn datacenter_rig(config: &DataCenterRigConfig) -> Rig {
         BudgetSource::SharedPerPhase(config.contractual_per_phase),
         PlaneConfig::default()
             .with_policy(config.policy)
+            .with_allocator(config.allocator)
             .with_spo(config.spo)
             .with_control_period(Seconds::new(8.0)),
     );
