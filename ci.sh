@@ -48,10 +48,11 @@ cargo run --release -q --example observability -- --check
 # stdin. Everything is wall-clock bounded so a wedged daemon fails CI
 # instead of hanging it.
 cargo build --release -q -p capmaestro-serve --bin capmaestrod
-DAEMON_LOG=$(mktemp); DAEMON_FIFO=$(mktemp -u)
+DAEMON_LOG=$(mktemp); DAEMON_FIFO=$(mktemp -u); DAEMON_OPLOG=$(mktemp -u)
 mkfifo "$DAEMON_FIFO"
 timeout 120s ./target/release/capmaestrod \
     --addr 127.0.0.1:0 --accel 0 --quit-on-stdin --wall-limit-s 90 \
+    --oplog "$DAEMON_OPLOG" \
     <"$DAEMON_FIFO" >"$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!
 exec 9>"$DAEMON_FIFO"   # open the write end so the daemon's stdin stays live
@@ -66,10 +67,46 @@ curl -fsS --max-time 10 "http://$DAEMON_ADDR/healthz"  > /dev/null
 curl -fsS --max-time 10 "http://$DAEMON_ADDR/report"   > /dev/null
 curl -fsS --max-time 10 -X POST --data '[1240]' "http://$DAEMON_ADDR/budget" > /dev/null
 timeout 60s ./target/release/capmaestrod --probe "$DAEMON_ADDR"
+
+# Versioned-API smoke: declare a tree budget through /v1 with an
+# idempotency key, see the event in the log, wait for the reconciler to
+# converge the live plane at a round boundary, then retry the identical
+# request and require an idempotent replay (exactly one event appended).
+ci_put_budget() {
+    curl -fsS --max-time 10 -X PUT -H "Idempotency-Key: ci-roll-1" \
+        --data '{"watts": 1200}' "http://$DAEMON_ADDR/v1/trees/0/budget"
+}
+FIRST_PUT=$(ci_put_budget)
+grep -q '"replayed":false' <<<"$FIRST_PUT" \
+    || { echo "ci: first /v1 PUT was not a fresh append: $FIRST_PUT" >&2; exit 1; }
+EVENTS=$(curl -fsS --max-time 10 "http://$DAEMON_ADDR/v1/events")
+grep -q '"type":"set_tree_budget"' <<<"$EVENTS" \
+    || { echo "ci: /v1/events does not show the staged budget: $EVENTS" >&2; exit 1; }
+HEAD_BEFORE=$(sed -n 's|^{"head":\([0-9]*\).*|\1|p' <<<"$EVENTS")
+APPLIED=""
+for _ in $(seq 1 120); do
+    APPLIED=$(curl -fsS --max-time 5 "http://$DAEMON_ADDR/v1/report" \
+        | sed -n 's|.*tree_root_watts{tree=[^}]*}", "value": \([0-9.]*\)}.*|\1|p')
+    [[ "$APPLIED" == "1200" ]] && break
+    sleep 0.25
+done
+[[ "$APPLIED" == "1200" ]] \
+    || { echo "ci: reconciler never applied the declared 1200 W budget (saw '$APPLIED')" >&2; exit 1; }
+RETRY_PUT=$(ci_put_budget)
+grep -q '"replayed":true' <<<"$RETRY_PUT" \
+    || { echo "ci: /v1 PUT retry was not replayed: $RETRY_PUT" >&2; exit 1; }
+HEAD_AFTER=$(curl -fsS --max-time 10 "http://$DAEMON_ADDR/v1/events" \
+    | sed -n 's|^{"head":\([0-9]*\).*|\1|p')
+[[ "$HEAD_BEFORE" == "$HEAD_AFTER" ]] \
+    || { echo "ci: idempotent retry appended an event ($HEAD_BEFORE -> $HEAD_AFTER)" >&2; exit 1; }
+echo "ci: versioned-api smoke ok"
+
 echo quit >&9
 exec 9>&-
 wait "$DAEMON_PID"
-rm -f "$DAEMON_FIFO" "$DAEMON_LOG"
+[[ -s "$DAEMON_OPLOG" ]] \
+    || { echo "ci: --oplog never persisted any events" >&2; exit 1; }
+rm -f "$DAEMON_FIFO" "$DAEMON_LOG" "$DAEMON_OPLOG"
 echo "ci: serving-mode smoke ok"
 
 # Partition-soak smoke: a room controller in-process against 4 real

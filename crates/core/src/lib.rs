@@ -55,6 +55,7 @@ pub mod capping;
 pub mod estimator;
 pub mod metrics;
 pub mod obs;
+pub mod oplog;
 pub mod par;
 pub mod plane;
 pub mod policy;
@@ -71,6 +72,11 @@ pub use budget::{split_budget, BudgetSplit};
 pub use capping::{CappingController, CombinedBudgetController};
 pub use estimator::{DemandEstimator, SampleFate};
 pub use metrics::{LeafInput, MetricEntry, PriorityMetrics};
+pub use oplog::{
+    plan as reconcile_plan, AppendOutcome, DesiredState, Envelope, Op, OpLog, OplogError,
+    ReconcilePlan, RecoveryReport,
+};
+
 pub use obs::{
     null_recorder, MetricsRegistry, MetricsSnapshot, NullRecorder, PhaseTimer, Recorder,
     RoundPhase,

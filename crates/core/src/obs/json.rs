@@ -65,7 +65,28 @@ pub fn snapshot(snap: &MetricsSnapshot) -> String {
 /// serving loop can reuse one `String` across exports instead of
 /// allocating a fresh document each time.
 pub fn snapshot_into(out: &mut String, snap: &MetricsSnapshot) {
-    out.push_str("{\n  \"counters\": [");
+    snapshot_with_fields_into(out, &[], snap);
+}
+
+/// Like [`snapshot_into`], but with extra top-level string fields
+/// rendered (escaped) before the metric arrays — how the serving layer
+/// folds its `"policy"` label into `/report` as a genuine JSON field.
+/// [`parse`] looks fields up by name, so documents with extras still
+/// round-trip.
+pub fn snapshot_with_fields_into(
+    out: &mut String,
+    fields: &[(&str, &str)],
+    snap: &MetricsSnapshot,
+) {
+    out.push('{');
+    for (name, value) in fields {
+        out.push_str("\n  ");
+        fmt_str(out, name);
+        out.push_str(": ");
+        fmt_str(out, value);
+        out.push(',');
+    }
+    out.push_str("\n  \"counters\": [");
     for (i, c) in snap.counters.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str("    {\"name\": ");

@@ -276,6 +276,15 @@ pub mod names {
     /// Counter: HTTP worker threads respawned after a handler panic.
     pub const SERVE_WORKER_RESPAWNS_TOTAL: &str =
         "capmaestro_serve_worker_respawns_total";
+    /// Counter: operator events appended to the oplog (idempotent
+    /// replays not counted).
+    pub const SERVE_OPLOG_APPENDS_TOTAL: &str =
+        "capmaestro_serve_oplog_appends_total";
+    /// Counter: reconciliation actions applied to converge the live
+    /// plane onto the declared state (budget stages, priority updates,
+    /// power flips, allocator switches).
+    pub const SERVE_RECONCILE_ACTIONS_TOTAL: &str =
+        "capmaestro_serve_reconcile_actions_total";
     /// Counter: times a rack agent re-established its outbound
     /// connection to the room controller (first connect not counted).
     pub const AGENT_RECONNECTS_TOTAL: &str = "capmaestro_agent_reconnects_total";

@@ -958,6 +958,17 @@ impl ControlPlane {
         &self.config
     }
 
+    /// Switches the budget-split allocator for every subsequent round.
+    /// Incremental allocation caches are invalidated (the allocator box
+    /// itself is cached per kind, so switching back and forth is cheap).
+    /// A no-op when `kind` is already active.
+    pub fn set_allocator(&mut self, kind: AllocatorKind) {
+        if self.config.allocator != kind {
+            self.config.allocator = kind;
+            self.ctx.invalidate_allocation_caches();
+        }
+    }
+
     /// The managed control trees.
     pub fn trees(&self) -> &[ControlTree] {
         &self.trees
@@ -1067,6 +1078,16 @@ impl ControlPlane {
             .get(&server)
             .or_else(|| self.static_priorities.get(&server))
             .copied()
+    }
+
+    /// The topology's static priority for a server, snapshotted at plane
+    /// construction — the value [`ControlPlane::clear_priority`] falls
+    /// back to. `None` for servers the plane has never heard of.
+    pub fn static_priority(
+        &self,
+        server: ServerId,
+    ) -> Option<capmaestro_topology::Priority> {
+        self.static_priorities.get(&server).copied()
     }
 
     /// Records one per-second sensor sample for every server (throttle

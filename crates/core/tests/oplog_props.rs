@@ -1,0 +1,298 @@
+//! Property-based tests of the operator event log.
+//!
+//! The contracts under test, per DESIGN.md "Operator API &
+//! reconciliation":
+//!
+//! - **Replay is a pure prefix fold.** For *every* prefix `log[..k]`,
+//!   `DesiredState::replay(&log[..k])` is bit-identical (watts compare by
+//!   `to_bits`) to applying the same `k` envelopes incrementally. This is
+//!   the property that makes `GET /v1/events?since=` a faithful
+//!   replication stream: a follower that applies events one at a time
+//!   lands on exactly the state a cold replay would.
+//! - **Envelopes round-trip bit-exactly** through
+//!   `encode_envelope`/`decode_envelope`, and decoding never panics.
+//! - **A torn file is a recoverable file.** Truncating the backing file
+//!   at any byte boundary — the footprint of a crash mid-append — loses
+//!   at most the final frame: `OpLog::open` recovers the intact prefix,
+//!   reports what it dropped, and the reopened log replays to the same
+//!   `DesiredState` as the surviving events.
+//!
+//! Failures found by fuzz runs are promoted to named `regression_*`
+//! tests at the bottom (the vendored proptest does not replay
+//! `.proptest-regressions`, so inputs are pinned here verbatim).
+
+use proptest::prelude::*;
+
+use capmaestro_core::oplog::{decode_envelope, encode_envelope, DesiredState, Envelope, Op, OpLog};
+use capmaestro_core::wire::frame;
+use capmaestro_core::AllocatorKind;
+use capmaestro_topology::{Priority, ServerId};
+use capmaestro_units::Watts;
+
+/// One fuzzed log entry before interpretation: `(pick, a, b, watts,
+/// flags, at_s)`. The vendored proptest has no `prop_map`/`prop_oneof`,
+/// so raw tuples are drawn and [`op_from`] gives them meaning, the same
+/// idiom as `wire_fuzz.rs`.
+type RawEntry = (u8, u32, u32, f64, u8, u64);
+
+/// The raw-entry strategy: every field bounded so [`op_from`] always
+/// builds a *valid* op (finite non-negative watts, known allocator).
+fn entries(max: usize) -> impl Strategy<Value = Vec<RawEntry>> {
+    prop::collection::vec(
+        (0u8..6, 0u32..4096, 0u32..64, 0.0f64..5.0e6, 0u8..4, 0u64..1_000_000),
+        0..max,
+    )
+}
+
+/// The op addressed by `pick`, all fields fuzz-controlled.
+fn op_from(pick: u8, a: u32, b: u32, watts: f64, flags: u8) -> Op {
+    match pick {
+        0 => Op::SetTreeBudget {
+            tree: a % 8,
+            watts: Watts::new(watts),
+        },
+        1 => Op::SetRootBudgets(
+            (0..(a % 5 + 1))
+                .map(|i| Watts::new(watts + f64::from(i)))
+                .collect(),
+        ),
+        2 => Op::SetGroupPriority {
+            tree: a % 8,
+            node: b,
+            priority: Priority(flags % 4),
+        },
+        3 => Op::ClearGroupPriority { tree: a % 8, node: b },
+        4 => Op::SetServerEnabled {
+            server: ServerId(a),
+            enabled: flags & 1 == 1,
+        },
+        _ => Op::SetAllocator(match flags % 3 {
+            0 => AllocatorKind::Waterfall,
+            1 => AllocatorKind::Waterfilling,
+            _ => AllocatorKind::FairShare,
+        }),
+    }
+}
+
+/// Sequences raw entries into envelopes the way `append` would: 1-based
+/// monotone seq, fuzzed timestamps, a key on every other entry (suffixed
+/// with the position so keys never collide — a collision would be an
+/// idempotent replay, not an append).
+fn log_from(raw: &[RawEntry]) -> Vec<Envelope> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(pick, a, b, watts, flags, at_s))| Envelope {
+            seq: i as u64 + 1,
+            at_s,
+            key: (flags & 2 == 2).then(|| format!("key-{i}")),
+            op: op_from(pick, a, b, watts, flags),
+        })
+        .collect()
+}
+
+/// Two desired states are bit-identical: every watts field compares by
+/// `to_bits`, everything else by `Eq`.
+fn assert_bit_identical(a: &DesiredState, b: &DesiredState) {
+    assert_eq!(a.seq, b.seq, "seq watermark diverged");
+    let a_budgets: Vec<(u32, u64)> = a
+        .tree_budgets
+        .iter()
+        .map(|(&t, w)| (t, w.as_f64().to_bits()))
+        .collect();
+    let b_budgets: Vec<(u32, u64)> = b
+        .tree_budgets
+        .iter()
+        .map(|(&t, w)| (t, w.as_f64().to_bits()))
+        .collect();
+    assert_eq!(a_budgets, b_budgets, "tree budget bits diverged");
+    assert_eq!(a.group_priorities, b.group_priorities, "group priorities diverged");
+    assert_eq!(a.server_enabled, b.server_enabled, "server enables diverged");
+    assert_eq!(a.allocator, b.allocator, "allocator diverged");
+}
+
+/// A scratch file path unique to this test invocation; removed on drop.
+struct ScratchFile(std::path::PathBuf);
+
+impl ScratchFile {
+    fn new(label: &str) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "capmaestro-oplog-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        ScratchFile(path)
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+proptest! {
+    /// Replaying any prefix of the log is bit-identical to applying the
+    /// same events one at a time.
+    #[test]
+    fn replay_of_every_prefix_matches_incremental_application(raw in entries(40)) {
+        let log = log_from(&raw);
+        let mut incremental = DesiredState::default();
+        // k = 0 first: the empty replay must be the default state.
+        assert_bit_identical(&DesiredState::replay(&[]), &incremental);
+        for k in 0..log.len() {
+            incremental.apply(&log[k]);
+            let replayed = DesiredState::replay(&log[..=k]);
+            assert_bit_identical(&replayed, &incremental);
+        }
+    }
+
+    /// Envelopes survive the codec bit-exactly, and decoding what the
+    /// encoder produced never fails.
+    #[test]
+    fn envelopes_round_trip_bit_exactly(raw in entries(40)) {
+        for envelope in &log_from(&raw) {
+            let decoded = decode_envelope(&encode_envelope(envelope))
+                .expect("encoder output must decode");
+            prop_assert_eq!(&decoded, envelope);
+        }
+    }
+
+    /// Decoding arbitrary bytes classifies without panicking.
+    #[test]
+    fn decode_is_total(raw in prop::collection::vec(0u16..256, 0..256)) {
+        let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        let _ = decode_envelope(&bytes);
+    }
+
+    /// Truncating the backing file at any byte boundary loses at most
+    /// the events whose frames the cut touched; the recovered prefix
+    /// replays to the same state as the surviving envelopes.
+    #[test]
+    fn torn_files_recover_the_intact_prefix(raw in entries(20), cut_back in 0usize..200) {
+        let log = log_from(&raw);
+        let scratch = ScratchFile::new("torn");
+        let mut full = Vec::new();
+        let mut frame_ends = vec![0usize];
+        {
+            let (mut persisted, report) = OpLog::open(&scratch.0).expect("create");
+            prop_assert_eq!(report.recovered, 0);
+            for envelope in &log {
+                persisted
+                    .append(envelope.at_s, envelope.key.as_deref(), envelope.op.clone())
+                    .expect("append");
+                full.extend_from_slice(&frame(&encode_envelope(envelope)));
+                frame_ends.push(full.len());
+            }
+        }
+        prop_assert_eq!(std::fs::read(&scratch.0).expect("read back"), full.clone());
+
+        // Tear the tail off at an arbitrary byte boundary.
+        let cut = full.len().saturating_sub(cut_back);
+        std::fs::write(&scratch.0, &full[..cut]).expect("tear");
+        let (recovered, report) = OpLog::open(&scratch.0).expect("recovery never errors");
+
+        // Recovery keeps exactly the frames that fit under the cut.
+        let intact = frame_ends.iter().filter(|&&end| end > 0 && end <= cut).count();
+        prop_assert_eq!(recovered.len(), intact);
+        prop_assert_eq!(report.recovered, intact);
+        prop_assert_eq!(report.truncated, cut > frame_ends[intact]);
+        assert_bit_identical(
+            &DesiredState::replay(recovered.events()),
+            &DesiredState::replay(&log[..intact]),
+        );
+        // The file itself was truncated to the healthy prefix, so a
+        // second open sees a clean log.
+        let (again, clean) = OpLog::open(&scratch.0).expect("reopen");
+        prop_assert_eq!(again.len(), intact);
+        prop_assert!(!clean.truncated);
+    }
+
+    /// A persisted log reopens to the exact same events — the restart
+    /// path `capmaestrod --oplog` relies on.
+    #[test]
+    fn reopening_a_clean_log_is_bit_identical(raw in entries(30)) {
+        let log = log_from(&raw);
+        let scratch = ScratchFile::new("reopen");
+        {
+            let (mut persisted, _) = OpLog::open(&scratch.0).expect("create");
+            for envelope in &log {
+                persisted
+                    .append(envelope.at_s, envelope.key.as_deref(), envelope.op.clone())
+                    .expect("append");
+            }
+        }
+        let (reopened, report) = OpLog::open(&scratch.0).expect("reopen");
+        prop_assert!(!report.truncated);
+        prop_assert_eq!(reopened.events(), &log[..]);
+        assert_bit_identical(
+            &DesiredState::replay(reopened.events()),
+            &DesiredState::replay(&log),
+        );
+    }
+}
+
+/// Garbage appended after a healthy log is dropped at recovery and the
+/// file truncated back to the intact prefix (pinned from a fuzz run:
+/// a length prefix larger than the remaining bytes reads as a torn
+/// frame, not an error).
+#[test]
+fn regression_garbage_tail_after_healthy_prefix_is_dropped() {
+    let scratch = ScratchFile::new("regression-garbage");
+    {
+        let (mut persisted, _) = OpLog::open(&scratch.0).expect("create");
+        persisted
+            .append(7, Some("k1"), Op::SetTreeBudget { tree: 0, watts: Watts::new(1240.0) })
+            .expect("append");
+    }
+    let clean_len = std::fs::metadata(&scratch.0).expect("stat").len();
+    let mut bytes = std::fs::read(&scratch.0).expect("read");
+    bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0x7f, 0xde, 0xad]);
+    std::fs::write(&scratch.0, &bytes).expect("pollute");
+
+    let (recovered, report) = OpLog::open(&scratch.0).expect("recover");
+    assert_eq!(recovered.len(), 1);
+    assert!(report.truncated);
+    assert_eq!(report.dropped_bytes, 6);
+    assert_eq!(
+        std::fs::metadata(&scratch.0).expect("stat").len(),
+        clean_len,
+        "file is truncated back to the healthy prefix"
+    );
+    // The idempotency index survives recovery: the same keyed append
+    // replays instead of re-appending.
+    let (mut recovered, _) = OpLog::open(&scratch.0).expect("reopen");
+    let outcome = recovered
+        .append(9, Some("k1"), Op::SetTreeBudget { tree: 0, watts: Watts::new(1240.0) })
+        .expect("replay");
+    assert!(outcome.replayed());
+    assert_eq!(recovered.len(), 1);
+}
+
+/// A frame whose payload decodes but whose sequence number skips ahead
+/// marks the end of the trusted prefix (pinned from a fuzz run).
+#[test]
+fn regression_sequence_break_ends_the_trusted_prefix() {
+    let scratch = ScratchFile::new("regression-seqbreak");
+    let first = Envelope {
+        seq: 1,
+        at_s: 0,
+        key: None,
+        op: Op::SetAllocator(AllocatorKind::Waterfilling),
+    };
+    let skipped = Envelope {
+        seq: 3, // should be 2
+        at_s: 0,
+        key: None,
+        op: Op::SetAllocator(AllocatorKind::FairShare),
+    };
+    let mut bytes = frame(&encode_envelope(&first));
+    bytes.extend_from_slice(&frame(&encode_envelope(&skipped)));
+    std::fs::write(&scratch.0, &bytes).expect("write");
+
+    let (recovered, report) = OpLog::open(&scratch.0).expect("recover");
+    assert_eq!(recovered.len(), 1);
+    assert!(report.truncated);
+    assert_eq!(recovered.events()[0].op, first.op);
+}

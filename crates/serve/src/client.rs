@@ -125,13 +125,50 @@ pub fn get(addr: &str, path: &str) -> Result<HttpResponse, String> {
 
 /// Blocking `POST path` with a body against `addr`.
 pub fn post(addr: &str, path: &str, body: &[u8]) -> Result<HttpResponse, String> {
-    let mut request = format!(
-        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    request(addr, "POST", path, &[], body)
+}
+
+/// Blocking request with an arbitrary method and extra headers (e.g.
+/// `("Idempotency-Key", "retry-1")`) — the general form behind the `/v1`
+/// mutation helpers.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<HttpResponse, String> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
-    )
-    .into_bytes();
-    request.extend_from_slice(body);
-    send_raw(addr, &request)
+    ));
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body);
+    send_raw(addr, &bytes)
+}
+
+/// Blocking `PUT path` with a body and optional headers.
+pub fn put(
+    addr: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<HttpResponse, String> {
+    request(addr, "PUT", path, headers, body)
+}
+
+/// Blocking `PATCH path` with a body and optional headers.
+pub fn patch(
+    addr: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<HttpResponse, String> {
+    request(addr, "PATCH", path, headers, body)
 }
 
 #[cfg(test)]

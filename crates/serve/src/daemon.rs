@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use capmaestro_core::obs::{json, prometheus, MetricsRegistry};
+use capmaestro_core::oplog::OpLog;
 use capmaestro_core::workers::leaf_statics;
 use capmaestro_core::{AllocatorKind, DeploymentConfig, PolicyKind, WorkerDeployment};
 use capmaestro_sim::scenarios::{priority_rig, RigConfig};
@@ -61,6 +62,10 @@ pub struct DaemonConfig {
     /// The rig agents and controller independently build (room mode
     /// only). Defaults to `racks:<agents>:2`.
     pub rig: Option<RigSpec>,
+    /// Persist the operator event log to this file; on startup the file
+    /// is replayed so the declared state survives restarts. `None` keeps
+    /// the log in memory only.
+    pub oplog: Option<std::path::PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -77,6 +82,7 @@ impl Default for DaemonConfig {
             agents: 0,
             agent_addr: "127.0.0.1:0".to_string(),
             rig: None,
+            oplog: None,
         }
     }
 }
@@ -97,7 +103,7 @@ capmaestrod — CapMaestro serving daemon
 USAGE:
     capmaestrod [--addr HOST:PORT | --port PORT] [--seconds N] [--accel F]
                 [--workers N] [--no-spo] [--policy NAME] [--quit-on-stdin]
-                [--wall-limit-s N]
+                [--wall-limit-s N] [--oplog PATH]
     capmaestrod --agents N [--agent-addr HOST:PORT] [--rig SPEC] [...]
     capmaestrod --probe HOST:PORT
 
@@ -112,6 +118,8 @@ OPTIONS:
                        waterfilling, or fair_share (engine mode only)
     --quit-on-stdin    exit when stdin closes or receives a 'quit' line
     --wall-limit-s N   hard wall-clock stop after N seconds
+    --oplog PATH       persist the operator event log to PATH (replayed on
+                       startup, so declared state survives restarts)
     --agents N         room-controller mode: run the control plane over N
                        out-of-process capmaestro-agent rack workers
     --agent-addr ADDR  agent listener bind address (room mode; default
@@ -119,13 +127,21 @@ OPTIONS:
     --rig SPEC         rig both sides build: fig2 or racks:R:S (room mode;
                        default racks:<agents>:2)
     --probe ADDR       smoke-check a running daemon: scrape and validate
-                       /metrics, /healthz, /report, then POST /budget
+                       the /v1 surface and the deprecated aliases, then
+                       drive an idempotent budget mutation through the
+                       event log
 
-ENDPOINTS:
-    GET  /metrics   Prometheus text exposition of the live registry
-    GET  /healthz   liveness: 200 while rounds are completing, else 503
-    GET  /report    JSON snapshot of the latest round report
-    POST /budget    stage per-tree root budgets, e.g. [1240]
+ENDPOINTS (see also the deprecated unversioned aliases):
+    GET   /v1/metrics               Prometheus text exposition
+    GET   /v1/healthz               liveness + oplog head / applied seq
+    GET   /v1/report                JSON snapshot of the latest round
+    GET   /v1/events?since=SEQ      operator events after SEQ
+    POST  /v1/budget                declare all root budgets, e.g. [1240]
+    PUT   /v1/trees/{id}/budget     declare one tree's root budget
+    PATCH /v1/groups/{t}.{n}/priority  declare/clear a group priority band
+    POST  /v1/servers/{id}:drain    drain (power off) a server
+    POST  /v1/servers/{id}:undrain  return a server to service
+    PUT   /v1/allocator             declare the budget-split policy
 ";
 
 /// Parse command-line arguments (without the program name).
@@ -186,6 +202,7 @@ pub fn parse_args(args: &[String]) -> Result<DaemonCommand, String> {
                     .ok_or_else(|| "--agents needs a positive integer".to_string())?;
             }
             "--agent-addr" => config.agent_addr = value_for("--agent-addr")?,
+            "--oplog" => config.oplog = Some(value_for("--oplog")?.into()),
             "--rig" => config.rig = Some(RigSpec::parse(&value_for("--rig")?)?),
             "--probe" => return Ok(DaemonCommand::Probe(value_for("--probe")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -202,15 +219,17 @@ const TRACE_RESET_PERIOD: u64 = 3600;
 
 /// Advance the engine by one simulated second and publish the result.
 ///
-/// Shared by the daemon loop and the endpoint tests so both apply staged
-/// budgets and health updates identically. Returns whether this step
-/// fired a control round.
+/// Shared by the daemon loop and the endpoint tests so both reconcile
+/// and publish identically. At each round boundary (pre-step clock a
+/// period multiple) the operator reconciler runs first, so declared
+/// budgets, priorities, drains, and allocator switches land in that
+/// round. Returns whether this step fired a control round.
 pub fn drive_second(engine: &mut Engine, state: &ServeState) -> bool {
-    if let Some(budgets) = state.take_pending_budgets() {
-        engine.stage_root_budgets(budgets);
-    }
     // Rounds fire when the pre-step clock is a period multiple.
     let round_ran = engine.now_s().is_multiple_of(engine.control_period_s());
+    if round_ran {
+        state.reconcile(engine);
+    }
     engine.step();
     state.publish(engine, round_ran);
     round_ran
@@ -238,10 +257,27 @@ pub fn run(config: &DaemonConfig) -> Result<u64, String> {
     let mut engine = Engine::new(rig);
     engine.plane_mut().set_recorder(registry.clone());
 
-    let state = Arc::new(
-        ServeState::new(registry.clone(), engine.control_period_s())
-            .with_policy_label(config.allocator.name()),
-    );
+    let mut state = ServeState::new(registry.clone(), engine.control_period_s())
+        .with_policy_label(config.allocator.name());
+    if let Some(path) = &config.oplog {
+        let (log, recovery) = OpLog::open(path)
+            .map_err(|e| format!("open oplog {}: {e}", path.display()))?;
+        if recovery.truncated {
+            eprintln!(
+                "capmaestrod: oplog {}: dropped {} torn trailing bytes, recovered {} events",
+                path.display(),
+                recovery.dropped_bytes,
+                recovery.recovered
+            );
+        }
+        println!(
+            "capmaestrod: oplog {} replayed {} events",
+            path.display(),
+            log.head_seq()
+        );
+        state = state.with_oplog(log);
+    }
+    let state = Arc::new(state);
     let router = Router::new(state.clone(), registry.clone());
     let http_config = HttpConfig::default()
         .with_addr(config.addr.clone())
@@ -328,6 +364,9 @@ fn run_room(config: &DaemonConfig) -> Result<u64, String> {
     // ci.sh and the tests parse this line for the agent port.
     println!("capmaestrod: agents connect to {}", transport.local_addr());
 
+    // The controller's view of the declared budgets, reconciled against
+    // the oplog every round.
+    let mut live_budgets = rig.root_budgets.clone();
     let mut deployment = WorkerDeployment::with_transport(
         rig.trees,
         rig.root_budgets,
@@ -338,10 +377,23 @@ fn run_room(config: &DaemonConfig) -> Result<u64, String> {
         DeploymentConfig::default().with_recorder(registry.clone()),
     );
 
-    let state = Arc::new(
-        ServeState::new(registry.clone(), 1)
-            .with_policy_label(AllocatorKind::Waterfall.name()),
-    );
+    let mut state = ServeState::new(registry.clone(), 1)
+        .with_policy_label(AllocatorKind::Waterfall.name())
+        .with_budgets_only();
+    if let Some(path) = &config.oplog {
+        let (log, recovery) = OpLog::open(path)
+            .map_err(|e| format!("open oplog {}: {e}", path.display()))?;
+        if recovery.truncated {
+            eprintln!(
+                "capmaestrod: oplog {}: dropped {} torn trailing bytes, recovered {} events",
+                path.display(),
+                recovery.dropped_bytes,
+                recovery.recovered
+            );
+        }
+        state = state.with_oplog(log);
+    }
+    let state = Arc::new(state);
     let router = Router::new(state.clone(), registry.clone());
     let http_config = HttpConfig::default()
         .with_addr(config.addr.clone())
@@ -374,8 +426,9 @@ fn run_room(config: &DaemonConfig) -> Result<u64, String> {
                 break;
             }
         }
-        if let Some(budgets) = state.take_pending_budgets() {
-            deployment.set_root_budgets(budgets);
+        if let Some(target) = state.reconcile_distributed(&live_budgets) {
+            deployment.set_root_budgets(target.clone());
+            live_budgets = target;
         }
         let outcome = deployment.run_round(rounds);
         deployment.advance(1);
@@ -459,6 +512,19 @@ pub fn probe(addr: &str) -> Result<String, String> {
         .map_err(|e| format!("/report payload does not parse as json: {e}"))?;
     transcript.push_str("/report: 200, parses as a metrics snapshot\n");
 
+    if metrics.header("deprecation") != Some("true") {
+        return Err("legacy /metrics is missing the Deprecation header".into());
+    }
+    let v1_metrics = client::get(addr, "/v1/metrics")?;
+    if v1_metrics.status != 200 || v1_metrics.header("deprecation").is_some() {
+        return Err(format!(
+            "/v1/metrics answered {} (deprecation: {:?})",
+            v1_metrics.status,
+            v1_metrics.header("deprecation")
+        ));
+    }
+    transcript.push_str("/v1/metrics: 200, legacy alias carries Deprecation: true\n");
+
     let budget = client::post(addr, "/budget", b"[1240]")?;
     if budget.status != 200 {
         return Err(format!(
@@ -468,6 +534,40 @@ pub fn probe(addr: &str) -> Result<String, String> {
         ));
     }
     transcript.push_str(&format!("POST /budget: 200, {}", budget.body_str()?));
+
+    let key = [("Idempotency-Key", "probe-tree0")];
+    let first = client::put(addr, "/v1/trees/0/budget", &key, b"1240")?;
+    if first.status != 200 {
+        return Err(format!(
+            "PUT /v1/trees/0/budget answered {}: {}",
+            first.status,
+            first.body_str().unwrap_or("<binary>")
+        ));
+    }
+    let replay = client::put(addr, "/v1/trees/0/budget", &key, b"1240")?;
+    if replay.status != 200 || !replay.body_str()?.contains("\"replayed\":true") {
+        return Err(format!(
+            "idempotent replay answered {}: {}",
+            replay.status,
+            replay.body_str().unwrap_or("<binary>")
+        ));
+    }
+    transcript.push_str("PUT /v1/trees/0/budget: 200, idempotent replay confirmed\n");
+
+    let events = client::get(addr, "/v1/events")?;
+    if events.status != 200 {
+        return Err(format!("GET /v1/events answered {}", events.status));
+    }
+    let events_body = events.body_str()?;
+    if !events_body.trim_start().starts_with("{\"head\":") {
+        return Err(format!("/v1/events payload is malformed: {events_body}"));
+    }
+    if !events_body.contains("set_tree_budget") {
+        return Err(format!(
+            "/v1/events does not show the staged tree budget: {events_body}"
+        ));
+    }
+    transcript.push_str("GET /v1/events: 200, staged mutation is in the log\n");
 
     let again = client::get(addr, "/metrics")?;
     if again.status != 200 {

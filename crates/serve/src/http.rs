@@ -68,6 +68,17 @@ impl Request {
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+
+    /// The first value of a query parameter (`?since=5&x=y` → `since` is
+    /// `"5"`). Values are taken verbatim — no percent-decoding, which the
+    /// numeric parameters this API uses never need.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let query = self.target.split_once('?')?.1;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// A request-level protocol error, carrying the HTTP status to answer
@@ -97,9 +108,24 @@ impl HttpError {
         }
     }
 
-    /// The plain-text response announcing this error.
+    /// The response announcing this error, in the same JSON error
+    /// envelope the router's `ApiError` uses. The reason strings are all
+    /// static lowercase ASCII, so no escaping is needed.
     pub fn to_response(&self) -> Response {
-        Response::text(self.status, format!("{}\n", self.reason))
+        let code = match self.status {
+            400 => "bad_request",
+            405 => "method_not_allowed",
+            413 => "payload_too_large",
+            _ => "error",
+        };
+        Response::new(
+            self.status,
+            "application/json",
+            format!(
+                "{{\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}\n",
+                self.reason
+            ),
+        )
     }
 }
 
@@ -259,14 +285,19 @@ pub fn parse_request(buf: &[u8], limits: &HttpLimits) -> ParseOutcome {
     }
 }
 
-/// An HTTP response ready to be written: status, content type, body.
-/// The writer adds `Content-Length` and `Connection: close`.
+/// An HTTP response ready to be written: status, content type, optional
+/// extra headers, body. The writer adds `Content-Length` and
+/// `Connection: close`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// The HTTP status code.
     pub status: u16,
     /// The `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written verbatim after
+    /// `Content-Type` — e.g. the `Deprecation: true` marker on legacy
+    /// endpoint aliases.
+    pub extra_headers: Vec<(&'static str, String)>,
     /// The response body.
     pub body: Vec<u8>,
 }
@@ -277,6 +308,7 @@ impl Response {
         Response {
             status,
             content_type,
+            extra_headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -286,6 +318,13 @@ impl Response {
         Response::new(status, "text/plain; charset=utf-8", body)
     }
 
+    /// Adds one extra response header. Values must already be valid
+    /// header text (no CR/LF); everything this server emits is.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
     /// The canonical reason phrase for the statuses this server emits.
     pub fn reason(status: u16) -> &'static str {
         match status {
@@ -293,8 +332,10 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
+            501 => "Not Implemented",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
@@ -303,12 +344,24 @@ impl Response {
     /// Serialize the full response (status line, headers, body) to wire
     /// bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n",
             self.status,
             Response::reason(self.status),
             self.content_type,
-            self.body.len(),
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        let _ = std::fmt::Write::write_fmt(
+            &mut head,
+            format_args!(
+                "Content-Length: {}\r\nConnection: close\r\n\r\n",
+                self.body.len()
+            ),
         );
         let mut bytes = Vec::with_capacity(head.len() + self.body.len());
         bytes.extend_from_slice(head.as_bytes());
@@ -406,6 +459,28 @@ mod tests {
         assert!(text.contains("Content-Length: 3\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn query_params_are_split_off_the_target() {
+        let bytes = b"GET /v1/events?since=5&limit=2 HTTP/1.1\r\n\r\n";
+        let ParseOutcome::Complete { request, .. } = parse(bytes) else {
+            panic!("expected complete");
+        };
+        assert_eq!(request.path(), "/v1/events");
+        assert_eq!(request.query_param("since"), Some("5"));
+        assert_eq!(request.query_param("limit"), Some("2"));
+        assert_eq!(request.query_param("missing"), None);
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_content_length() {
+        let bytes = Response::text(200, "ok\n")
+            .with_header("Deprecation", "true")
+            .to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Deprecation: true\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
     }
 
     #[test]

@@ -18,12 +18,22 @@
 //!   (stop accepting → drain in-flight → join).
 //! - [`state`] — [`state::ServeState`]: the shared-state seam between the
 //!   engine thread and HTTP workers. Handlers only ever read pre-published
-//!   state; they never touch the engine.
-//! - [`router`] — the endpoint table: `GET /metrics` (Prometheus text
-//!   exposition of the live registry), `GET /healthz` (round liveness +
-//!   degradation-ladder state), `GET /report` (JSON snapshot of the
-//!   latest `RoundReport`), `POST /budget` (bounds-checked root-budget
-//!   update, applied at the next round boundary).
+//!   state or append validated events to the operator log; they never
+//!   touch the engine. The engine thread drains the log at each round
+//!   boundary ([`state::ServeState::reconcile`]) and converges the live
+//!   plane onto the declared [`capmaestro_core::oplog::DesiredState`].
+//! - [`router`] — the versioned `/v1` endpoint table: `GET /v1/metrics`
+//!   (Prometheus text exposition of the live registry), `GET /v1/healthz`
+//!   (round liveness + degradation-ladder state + oplog watermarks),
+//!   `GET /v1/report` (JSON snapshot of the latest `RoundReport`),
+//!   `GET /v1/events?since=seq` (the operator event log), and the
+//!   mutation surface — `POST /v1/budget`, `PUT /v1/trees/{id}/budget`,
+//!   `PATCH /v1/groups/{tree}.{node}/priority`,
+//!   `POST /v1/servers/{id}:drain` / `:undrain`, `PUT /v1/allocator` —
+//!   all idempotency-keyed appends to the log, applied at the next round
+//!   boundary. Legacy unversioned paths stay as aliases that answer with
+//!   a `Deprecation: true` header. Failures share one JSON error
+//!   envelope ([`router::ApiError`]).
 //! - [`daemon`] — the `capmaestrod` run loop: a seeded [`capmaestro_sim`]
 //!   scenario stepped in real or accelerated time behind the server, plus
 //!   the `--probe` smoke client ci.sh uses.
@@ -63,7 +73,7 @@ pub use agent::{run_agent, AgentConfig, AgentReport};
 pub use frame::{write_frame, FrameReader};
 pub use http::{HttpError, HttpLimits, Request, Response};
 pub use rig::{build_owned_farm, build_rig, rig_assignments, DistRig, RigSpec};
-pub use router::Router;
+pub use router::{ApiError, Router};
 pub use server::{Handler, HttpConfig, HttpServer, ShutdownHandle};
 pub use socket::{SocketTransport, SocketTransportConfig};
-pub use state::{BudgetError, HealthSnapshot, ServeState};
+pub use state::{BudgetError, HealthSnapshot, OpRejection, ServeState};

@@ -1,21 +1,29 @@
 //! The shared-state seam between the engine thread and HTTP workers.
 //!
-//! HTTP handlers never touch the engine. Instead the engine thread calls
-//! [`ServeState::publish`] after every step, copying the handful of
-//! fields the endpoints need behind short-lived locks; handlers read
-//! those copies. Likewise `POST /budget` never mutates the control
-//! plane — it stages a bounds-checked budget vector that the engine
-//! thread picks up with [`ServeState::take_pending_budgets`] and applies
-//! at the next round boundary (via `Engine::stage_root_budgets`), so the
-//! round pipeline keeps its single-writer discipline.
+//! HTTP handlers never touch the engine. Reads go through state the
+//! engine thread copies out after every step ([`ServeState::publish`]);
+//! mutations go through the operator event log: a handler validates the
+//! request against the published capability view, appends an
+//! [`Op`] to the [`OpLog`] (idempotency-keyed, file-backed when the
+//! daemon runs with `--oplog`), and answers with the event's sequence
+//! number. The engine thread — the single writer — drains new events at
+//! each round boundary ([`ServeState::reconcile`]), folds them into the
+//! [`DesiredState`], diffs declared against live, and converges the
+//! plane through `Engine::apply_reconcile_plan`. A quiescent log yields
+//! an empty plan, so scraped-vs-unscraped runs stay bit-identical.
 
 use std::error::Error;
 use std::fmt;
-use std::sync::{Arc, Mutex, RwLock};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
-use capmaestro_core::obs::{json, prometheus, MetricsRegistry};
+use capmaestro_core::obs::{json, names, prometheus, MetricsRegistry, Recorder};
+use capmaestro_core::oplog::{
+    plan, AppendOutcome, DesiredState, Envelope, Op, OpLog, OplogError,
+};
 use capmaestro_sim::Engine;
+use capmaestro_topology::ServerId;
 use capmaestro_units::Watts;
 
 /// Mutable health fields, updated by the engine thread on every step.
@@ -32,11 +40,16 @@ struct HealthInner {
     /// Rack workers currently budgeted from fail-safe metrics
     /// (distributed deployments only; always 0 for an in-process engine).
     stale_racks: usize,
-    /// Number of control trees (the expected `POST /budget` arity).
+    /// Number of control trees (the expected budget arity).
     trees: usize,
+    /// Sequence number of the newest oplog event.
+    oplog_head: u64,
+    /// Sequence number up to which the reconciler has converged the
+    /// live plane.
+    applied_seq: u64,
 }
 
-/// Point-in-time health as served by `GET /healthz`.
+/// Point-in-time health as served by `GET /v1/healthz`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthSnapshot {
     /// Whether a round completed within the staleness window.
@@ -59,10 +72,15 @@ pub struct HealthSnapshot {
     pub stale_racks: usize,
     /// Number of control trees.
     pub trees: usize,
+    /// Sequence number of the newest operator event.
+    pub oplog_head: u64,
+    /// Sequence number the reconciler has converged up to; lagging
+    /// `oplog_head` means events await the next round boundary.
+    pub applied_seq: u64,
 }
 
 impl HealthSnapshot {
-    /// Render as the `/healthz` JSON body.
+    /// Render as the `/v1/healthz` JSON body.
     pub fn to_json(&self) -> String {
         let status = if self.healthy { "ok" } else { "unhealthy" };
         let age = match self.last_round_age_s {
@@ -70,7 +88,7 @@ impl HealthSnapshot {
             None => "null".to_string(),
         };
         format!(
-            "{{\"status\":\"{status}\",\"degraded\":{},\"rounds_total\":{},\"sim_seconds\":{},\"last_round_age_s\":{age},\"control_period_s\":{},\"stale_servers\":{},\"stale_racks\":{},\"trees\":{}}}\n",
+            "{{\"status\":\"{status}\",\"degraded\":{},\"rounds_total\":{},\"sim_seconds\":{},\"last_round_age_s\":{age},\"control_period_s\":{},\"stale_servers\":{},\"stale_racks\":{},\"trees\":{},\"oplog_head\":{},\"applied_seq\":{}}}\n",
             self.degraded,
             self.rounds_total,
             self.sim_seconds,
@@ -78,11 +96,13 @@ impl HealthSnapshot {
             self.stale_servers,
             self.stale_racks,
             self.trees,
+            self.oplog_head,
+            self.applied_seq,
         )
     }
 }
 
-/// Why a `POST /budget` payload was rejected.
+/// Why a budget payload was rejected.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BudgetError {
     /// The payload had the wrong number of budgets for the tree count.
@@ -121,37 +141,134 @@ impl fmt::Display for BudgetError {
 
 impl Error for BudgetError {}
 
+/// Why an operator mutation was refused before reaching the log.
+#[derive(Debug)]
+pub enum OpRejection {
+    /// A budget failed bounds or arity validation.
+    Budget(
+        /// The specific budget failure.
+        BudgetError,
+    ),
+    /// The tree index does not exist in the live plane.
+    UnknownTree {
+        /// The requested tree index.
+        tree: u32,
+        /// How many trees the plane has.
+        trees: usize,
+    },
+    /// The group node index does not exist in that tree's arena.
+    UnknownGroup {
+        /// The requested tree index.
+        tree: u32,
+        /// The requested node index.
+        node: u32,
+    },
+    /// The server id is not in the farm.
+    UnknownServer(
+        /// The requested server.
+        ServerId,
+    ),
+    /// This deployment cannot serve the op (room-controller mode only
+    /// manages budgets — servers live in out-of-process agents).
+    Unsupported(
+        /// What is unsupported, for the error message.
+        &'static str,
+    ),
+    /// The idempotency key was used before with a different op.
+    Conflict {
+        /// Sequence number of the original event under that key.
+        existing_seq: u64,
+    },
+    /// The idempotency key is longer than the log accepts.
+    KeyTooLong {
+        /// The offending key's byte length.
+        len: usize,
+    },
+    /// The append itself failed (backing-file I/O).
+    Internal(
+        /// The failure, rendered.
+        String,
+    ),
+}
+
+impl fmt::Display for OpRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpRejection::Budget(e) => write!(f, "{e}"),
+            OpRejection::UnknownTree { tree, trees } => {
+                write!(f, "no tree {tree}: the plane has {trees} trees")
+            }
+            OpRejection::UnknownGroup { tree, node } => {
+                write!(f, "tree {tree} has no group node {node}")
+            }
+            OpRejection::UnknownServer(id) => write!(f, "no server {}", id.0),
+            OpRejection::Unsupported(what) => {
+                write!(f, "{what} is not supported by this deployment")
+            }
+            OpRejection::Conflict { existing_seq } => write!(
+                f,
+                "idempotency key already used by event {existing_seq} with a different op"
+            ),
+            OpRejection::KeyTooLong { len } => {
+                write!(f, "idempotency key of {len} bytes is too long")
+            }
+            OpRejection::Internal(what) => write!(f, "append failed: {what}"),
+        }
+    }
+}
+
+impl Error for OpRejection {}
+
+/// What the live deployment can reconcile, published by the engine
+/// thread so handlers can reject impossible mutations synchronously.
+#[derive(Debug, Default)]
+struct OperatorCaps {
+    /// Per-tree arena node counts (group addressing bounds).
+    group_nodes: Vec<usize>,
+    /// Sorted server ids in the farm (drain addressing).
+    servers: Vec<ServerId>,
+    /// Budgets-only deployments (the distributed room controller) reject
+    /// priority, drain, and allocator ops.
+    budgets_only: bool,
+}
+
 /// Shared state published by the engine thread and read by handlers.
 #[derive(Debug)]
 pub struct ServeState {
-    /// The live registry the engine's recorder writes into; `/metrics`
+    /// The live registry the engine's recorder writes into; `/v1/metrics`
     /// renders a snapshot of it.
     registry: Arc<MetricsRegistry>,
     /// The engine's control period (seconds of simulated time).
     control_period_s: u64,
-    /// `/healthz` flips unhealthy when no round completed within this
+    /// `/v1/healthz` flips unhealthy when no round completed within this
     /// wall-clock window.
     unhealthy_after: Duration,
-    /// Inclusive per-tree budget bounds accepted by `POST /budget`.
+    /// Inclusive per-tree budget bounds accepted by budget mutations.
     budget_min: Watts,
     /// See `budget_min`.
     budget_max: Watts,
-    /// The active budget-split allocator's name; when set, `/report`
-    /// payloads carry it as a top-level `"policy"` key.
-    policy_label: Option<&'static str>,
+    /// The active budget-split allocator's name; rendered as the
+    /// `"policy"` field of `/v1/report`. Behind a lock because a
+    /// `SetAllocator` event changes it at a round boundary.
+    policy_label: Mutex<Option<&'static str>>,
     /// Pre-rendered JSON of the latest `RoundReport`'s metrics snapshot.
     report_json: RwLock<Option<String>>,
     /// Health fields behind one short-lived lock.
     health: Mutex<HealthInner>,
-    /// Budgets staged by `POST /budget`, awaiting the engine thread.
-    pending: Mutex<Option<Vec<Watts>>>,
+    /// The append-only operator event log.
+    oplog: Mutex<OpLog>,
+    /// The reconciler's declared-state fold, owned by the engine thread
+    /// (the mutex satisfies `Sync`; there is never contention).
+    desired: Mutex<DesiredState>,
+    /// The capability view mutations are validated against.
+    caps: RwLock<OperatorCaps>,
 }
 
 impl ServeState {
     /// New state for an engine with the given registry and control
     /// period. Defaults: unhealthy after 3 control periods (but at least
-    /// 3 wall-clock seconds, so accelerated runs aren't flappy) and
-    /// budgets accepted in `[1, 10_000_000]` W.
+    /// 3 wall-clock seconds, so accelerated runs aren't flappy), budgets
+    /// accepted in `[1, 10_000_000]` W, and an in-memory event log.
     pub fn new(registry: Arc<MetricsRegistry>, control_period_s: u64) -> Self {
         let window_s = (3 * control_period_s).max(3);
         ServeState {
@@ -160,47 +277,76 @@ impl ServeState {
             unhealthy_after: Duration::from_secs(window_s),
             budget_min: Watts::new(1.0),
             budget_max: Watts::new(10_000_000.0),
-            policy_label: None,
+            policy_label: Mutex::new(None),
             report_json: RwLock::new(None),
             health: Mutex::new(HealthInner::default()),
-            pending: Mutex::new(None),
+            oplog: Mutex::new(OpLog::in_memory()),
+            desired: Mutex::new(DesiredState::default()),
+            caps: RwLock::new(OperatorCaps::default()),
         }
     }
 
-    /// Override the staleness window for `/healthz`.
+    /// Override the staleness window for `/v1/healthz`.
     pub fn with_unhealthy_after(mut self, window: Duration) -> Self {
         self.unhealthy_after = window;
         self
     }
 
-    /// Label `/report` payloads with the active budget-split allocator:
-    /// a top-level `"policy"` key is prepended to every published
-    /// snapshot. The snapshot parser tolerates the extra key, so probes
-    /// of older daemons keep working.
-    pub fn with_policy_label(mut self, name: &'static str) -> Self {
-        self.policy_label = Some(name);
+    /// Label `/v1/report` payloads with the active budget-split
+    /// allocator, as a proper top-level `"policy"` JSON field.
+    pub fn with_policy_label(self, name: &'static str) -> Self {
+        *self.policy_label.lock().unwrap_or_else(|p| p.into_inner()) = Some(name);
         self
     }
 
-    /// Override the inclusive bounds accepted by `POST /budget`.
+    /// Override the inclusive bounds accepted by budget mutations.
     pub fn with_budget_bounds(mut self, min: Watts, max: Watts) -> Self {
         self.budget_min = min;
         self.budget_max = max;
         self
     }
 
-    /// The registry `/metrics` renders from.
+    /// Use this event log (e.g. one opened file-backed from `--oplog`)
+    /// instead of a fresh in-memory log. Events already in the log are
+    /// replayed into the declared state by the first
+    /// [`reconcile`](Self::reconcile).
+    pub fn with_oplog(self, log: OpLog) -> Self {
+        {
+            let mut health = self.health.lock().unwrap_or_else(|p| p.into_inner());
+            health.oplog_head = log.head_seq();
+        }
+        *self.oplog.lock().unwrap_or_else(|p| p.into_inner()) = log;
+        self
+    }
+
+    /// Restrict the operator surface to budget mutations (the
+    /// distributed room controller: servers live in out-of-process
+    /// agents, so drains, priorities, and allocator switches have
+    /// nothing to act on).
+    pub fn with_budgets_only(self) -> Self {
+        self.caps
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .budgets_only = true;
+        self
+    }
+
+    /// The registry `/v1/metrics` renders from.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
     }
 
+    fn health_lock(&self) -> MutexGuard<'_, HealthInner> {
+        self.health.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Publish the engine's current state. Called by the engine thread
     /// after every step; `round_ran` marks steps that fired a control
-    /// round (those also refresh the `/report` payload and the health
-    /// round clock).
+    /// round (those also refresh the `/v1/report` payload, the health
+    /// round clock, and the operator capability view).
     pub fn publish(&self, engine: &Engine, round_ran: bool) {
         {
-            let mut health = self.health.lock().unwrap_or_else(|p| p.into_inner());
+            let mut health = self.health_lock();
             health.sim_seconds = engine.now_s();
             health.stale_servers = engine.plane().stale_servers().len();
             health.trees = engine.plane().trees().len();
@@ -210,47 +356,66 @@ impl ServeState {
             }
         }
         if round_ran {
+            {
+                let mut caps = self.caps.write().unwrap_or_else(|p| p.into_inner());
+                let trees = engine.plane().trees();
+                if caps.group_nodes.len() != trees.len()
+                    || caps
+                        .group_nodes
+                        .iter()
+                        .zip(trees)
+                        .any(|(&n, t)| n != t.arena().len())
+                {
+                    caps.group_nodes = trees.iter().map(|t| t.arena().len()).collect();
+                }
+                // Farm membership is fixed after construction.
+                if caps.servers.len() != engine.farm().ids().len() {
+                    caps.servers = engine.farm().ids().to_vec();
+                }
+            }
             if let Some(report) = engine.last_round_report() {
-                let rendered = self.label_report(json::snapshot(&report.metrics_snapshot()));
+                let rendered = self.render_report(&report.metrics_snapshot());
                 let mut slot = self.report_json.write().unwrap_or_else(|p| p.into_inner());
                 *slot = Some(rendered);
             }
         }
     }
 
-    /// Prepend the `"policy"` key to a rendered snapshot when a label is
-    /// configured (the snapshot opens with `{`, so one `replacen` puts
-    /// the key first).
-    fn label_report(&self, rendered: String) -> String {
-        match self.policy_label {
-            Some(name) => rendered.replacen('{', &format!("{{\n  \"policy\": \"{name}\","), 1),
-            None => rendered,
+    /// Render a report snapshot, folding the active policy label in as a
+    /// real top-level `"policy"` field.
+    fn render_report(&self, snap: &capmaestro_core::obs::MetricsSnapshot) -> String {
+        let label = *self.policy_label.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::new();
+        match label {
+            Some(name) => json::snapshot_with_fields_into(&mut out, &[("policy", name)], snap),
+            None => json::snapshot_into(&mut out, snap),
         }
+        out
     }
 
     /// Publish one distributed-deployment round: the room-controller
     /// counterpart of [`publish`](Self::publish), for daemons whose world
     /// lives in out-of-process rack agents rather than an engine.
     /// `stale_racks` is the number of workers whose cuts were budgeted
-    /// from fail-safe metrics this round; `/report` renders the live
+    /// from fail-safe metrics this round; `/v1/report` renders the live
     /// registry snapshot (the deployment's recorder writes into it).
     pub fn publish_distributed(&self, sim_seconds: u64, trees: usize, stale_racks: usize) {
         {
-            let mut health = self.health.lock().unwrap_or_else(|p| p.into_inner());
+            let mut health = self.health_lock();
             health.sim_seconds = sim_seconds;
             health.stale_racks = stale_racks;
             health.trees = trees;
             health.rounds_total += 1;
             health.last_round = Some(Instant::now());
         }
-        let rendered = self.label_report(json::snapshot(&self.registry.snapshot()));
+        let rendered = self.render_report(&self.registry.snapshot());
         let mut slot = self.report_json.write().unwrap_or_else(|p| p.into_inner());
         *slot = Some(rendered);
     }
 
-    /// The current health view, as `GET /healthz` reports it.
+    /// The current health view, as `GET /v1/healthz` reports it.
     pub fn health(&self) -> HealthSnapshot {
-        let health = self.health.lock().unwrap_or_else(|p| p.into_inner());
+        let health = self.health_lock();
         let last_round_age = health.last_round.map(|at| at.elapsed());
         HealthSnapshot {
             healthy: last_round_age.is_some_and(|age| age <= self.unhealthy_after),
@@ -262,10 +427,12 @@ impl ServeState {
             stale_servers: health.stale_servers,
             stale_racks: health.stale_racks,
             trees: health.trees,
+            oplog_head: health.oplog_head,
+            applied_seq: health.applied_seq,
         }
     }
 
-    /// The latest `/report` JSON payload, if any round has completed.
+    /// The latest `/v1/report` JSON payload, if any round has completed.
     pub fn report_json(&self) -> Option<String> {
         self.report_json
             .read()
@@ -273,47 +440,329 @@ impl ServeState {
             .clone()
     }
 
-    /// Render the `/metrics` Prometheus page from the live registry.
+    /// Render the `/v1/metrics` Prometheus page from the live registry.
     pub fn metrics_page(&self) -> String {
         prometheus::render(&self.registry.snapshot())
     }
 
-    /// Validate and stage a budget vector (raw watts, one per tree) for
-    /// the next round boundary. Takes `f64`s rather than [`Watts`] so
-    /// non-finite client input is rejected here instead of tripping
-    /// `Watts::new`'s debug assertion. Returns the number staged.
-    pub fn stage_budgets(&self, budgets: &[f64]) -> Result<usize, BudgetError> {
-        let trees = {
-            let health = self.health.lock().unwrap_or_else(|p| p.into_inner());
-            health.trees
-        };
-        if budgets.len() != trees {
-            return Err(BudgetError::WrongArity {
-                got: budgets.len(),
-                want: trees,
-            });
-        }
+    /// Validate budget values against the configured bounds.
+    fn check_budget_bounds(&self, budgets: &[f64]) -> Result<(), OpRejection> {
         for &w in budgets {
             if !w.is_finite() {
-                return Err(BudgetError::NotFinite);
+                return Err(OpRejection::Budget(BudgetError::NotFinite));
             }
             if w < self.budget_min.as_f64() || w > self.budget_max.as_f64() {
-                return Err(BudgetError::OutOfBounds {
+                return Err(OpRejection::Budget(BudgetError::OutOfBounds {
                     value: w,
                     min: self.budget_min.as_f64(),
                     max: self.budget_max.as_f64(),
-                });
+                }));
             }
         }
-        let staged: Vec<Watts> = budgets.iter().map(|&w| Watts::new(w)).collect();
-        let count = staged.len();
-        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
-        *pending = Some(staged);
-        Ok(count)
+        Ok(())
     }
 
-    /// Take any staged budgets (engine thread, once per step).
-    pub fn take_pending_budgets(&self) -> Option<Vec<Watts>> {
-        self.pending.lock().unwrap_or_else(|p| p.into_inner()).take()
+    /// Validate and append a full root-budget vector (the legacy
+    /// `POST /budget` shape: raw watts, one per tree). The event is
+    /// applied by the reconciler at the next round boundary.
+    pub fn stage_budgets(
+        &self,
+        budgets: &[f64],
+        key: Option<&str>,
+    ) -> Result<AppendOutcome, OpRejection> {
+        let trees = self.health_lock().trees;
+        if budgets.len() != trees {
+            return Err(OpRejection::Budget(BudgetError::WrongArity {
+                got: budgets.len(),
+                want: trees,
+            }));
+        }
+        self.check_budget_bounds(budgets)?;
+        let op = Op::SetRootBudgets(budgets.iter().map(|&w| Watts::new(w)).collect());
+        self.append_validated(key, op)
     }
+
+    /// Validate and append one tree's declared root budget
+    /// (`PUT /v1/trees/{id}/budget`).
+    pub fn stage_tree_budget(
+        &self,
+        tree: u32,
+        watts: f64,
+        key: Option<&str>,
+    ) -> Result<AppendOutcome, OpRejection> {
+        let trees = self.health_lock().trees;
+        if tree as usize >= trees {
+            return Err(OpRejection::UnknownTree { tree, trees });
+        }
+        self.check_budget_bounds(&[watts])?;
+        self.append_validated(
+            key,
+            Op::SetTreeBudget {
+                tree,
+                watts: Watts::new(watts),
+            },
+        )
+    }
+
+    /// Validate and append a group priority band — `Some` declares it,
+    /// `None` withdraws it (`PATCH /v1/groups/{tree}.{node}/priority`).
+    pub fn stage_group_priority(
+        &self,
+        tree: u32,
+        node: u32,
+        priority: Option<u8>,
+        key: Option<&str>,
+    ) -> Result<AppendOutcome, OpRejection> {
+        {
+            let caps = self.caps.read().unwrap_or_else(|p| p.into_inner());
+            if caps.budgets_only {
+                return Err(OpRejection::Unsupported("group priority"));
+            }
+            if tree as usize >= caps.group_nodes.len() {
+                return Err(OpRejection::UnknownTree {
+                    tree,
+                    trees: caps.group_nodes.len(),
+                });
+            }
+            if node as usize >= caps.group_nodes[tree as usize] {
+                return Err(OpRejection::UnknownGroup { tree, node });
+            }
+        }
+        let op = match priority {
+            Some(p) => Op::SetGroupPriority {
+                tree,
+                node,
+                priority: capmaestro_topology::Priority(p),
+            },
+            None => Op::ClearGroupPriority { tree, node },
+        };
+        self.append_validated(key, op)
+    }
+
+    /// Validate and append a server drain (`enabled: false`) or return
+    /// to service (`POST /v1/servers/{id}:drain` / `:undrain`).
+    pub fn stage_server_enabled(
+        &self,
+        server: ServerId,
+        enabled: bool,
+        key: Option<&str>,
+    ) -> Result<AppendOutcome, OpRejection> {
+        {
+            let caps = self.caps.read().unwrap_or_else(|p| p.into_inner());
+            if caps.budgets_only {
+                return Err(OpRejection::Unsupported("server drain"));
+            }
+            if caps.servers.binary_search(&server).is_err() {
+                return Err(OpRejection::UnknownServer(server));
+            }
+        }
+        self.append_validated(key, Op::SetServerEnabled { server, enabled })
+    }
+
+    /// Validate and append an allocator selection (`PUT /v1/allocator`).
+    pub fn stage_allocator(
+        &self,
+        kind: capmaestro_core::AllocatorKind,
+        key: Option<&str>,
+    ) -> Result<AppendOutcome, OpRejection> {
+        {
+            let caps = self.caps.read().unwrap_or_else(|p| p.into_inner());
+            if caps.budgets_only {
+                return Err(OpRejection::Unsupported("allocator selection"));
+            }
+        }
+        self.append_validated(key, Op::SetAllocator(kind))
+    }
+
+    /// Append a pre-validated op, mapping log-level failures.
+    fn append_validated(
+        &self,
+        key: Option<&str>,
+        op: Op,
+    ) -> Result<AppendOutcome, OpRejection> {
+        let at_s = self.health_lock().sim_seconds;
+        let outcome = {
+            let mut log = self.oplog.lock().unwrap_or_else(|p| p.into_inner());
+            log.append(at_s, key, op).map_err(|e| match e {
+                OplogError::IdempotencyConflict { existing_seq } => {
+                    OpRejection::Conflict { existing_seq }
+                }
+                OplogError::KeyTooLong { len } => OpRejection::KeyTooLong { len },
+                other => OpRejection::Internal(other.to_string()),
+            })?
+        };
+        if let AppendOutcome::Appended(seq) = outcome {
+            self.health_lock().oplog_head = seq;
+            self.registry.counter_add(names::SERVE_OPLOG_APPENDS_TOTAL, 1);
+        }
+        Ok(outcome)
+    }
+
+    /// The newest event sequence number.
+    pub fn oplog_head(&self) -> u64 {
+        self.oplog
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .head_seq()
+    }
+
+    /// Render `GET /v1/events?since=seq`: every event with a sequence
+    /// number greater than `since`, oldest first, plus the head.
+    pub fn events_json(&self, since: u64) -> String {
+        let log = self.oplog.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::new();
+        let _ = write!(out, "{{\"head\":{},\"events\":[", log.head_seq());
+        for (i, envelope) in log.since(since).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            envelope_json(&mut out, envelope);
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Converge the live engine onto the declared state. Called by the
+    /// engine thread immediately before a round-boundary step: drains
+    /// new events into the declared-state fold, diffs declared vs live,
+    /// and applies the plan (budgets stage into the imminent round;
+    /// priorities, drains, and allocator switches apply directly).
+    /// Returns the number of actions applied. With an empty log this is
+    /// an exact no-op.
+    pub fn reconcile(&self, engine: &mut Engine) -> usize {
+        let mut desired = self.desired.lock().unwrap_or_else(|p| p.into_inner());
+        {
+            let log = self.oplog.lock().unwrap_or_else(|p| p.into_inner());
+            for envelope in log.since(desired.seq) {
+                desired.apply(envelope);
+            }
+        }
+        if desired.seq == 0 {
+            return 0; // nothing ever declared: bit-identical no-op
+        }
+        let step = plan(&desired, engine.plane(), engine.farm());
+        let applied = engine.apply_reconcile_plan(&step);
+        if let Some(kind) = step.allocator {
+            *self.policy_label.lock().unwrap_or_else(|p| p.into_inner()) = Some(kind.name());
+        }
+        if applied > 0 {
+            self.registry
+                .counter_add(names::SERVE_RECONCILE_ACTIONS_TOTAL, applied as u64);
+        }
+        self.health_lock().applied_seq = desired.seq;
+        applied
+    }
+
+    /// The distributed counterpart of [`reconcile`](Self::reconcile):
+    /// room controllers only manage root budgets (their servers live in
+    /// out-of-process agents), so this folds new events and returns the
+    /// composed budget vector when it differs bitwise from `live`, for
+    /// the caller to push into its `WorkerDeployment`.
+    pub fn reconcile_distributed(&self, live: &[Watts]) -> Option<Vec<Watts>> {
+        let mut desired = self.desired.lock().unwrap_or_else(|p| p.into_inner());
+        {
+            let log = self.oplog.lock().unwrap_or_else(|p| p.into_inner());
+            for envelope in log.since(desired.seq) {
+                desired.apply(envelope);
+            }
+        }
+        if desired.seq == 0 {
+            return None;
+        }
+        self.health_lock().applied_seq = desired.seq;
+        let mut target = live.to_vec();
+        for (&tree, &watts) in &desired.tree_budgets {
+            if let Some(slot) = target.get_mut(tree as usize) {
+                *slot = watts;
+            }
+        }
+        let differs = live
+            .iter()
+            .zip(&target)
+            .any(|(a, b)| a.as_f64().to_bits() != b.as_f64().to_bits());
+        if differs {
+            self.registry
+                .counter_add(names::SERVE_RECONCILE_ACTIONS_TOTAL, 1);
+            Some(target)
+        } else {
+            None
+        }
+    }
+}
+
+/// Append one envelope as a JSON object.
+fn envelope_json(out: &mut String, envelope: &Envelope) {
+    let _ = write!(out, "{{\"seq\":{},\"at_s\":{}", envelope.seq, envelope.at_s);
+    out.push_str(",\"key\":");
+    match &envelope.key {
+        Some(key) => escape_json_str(out, key),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"op\":");
+    match &envelope.op {
+        Op::SetTreeBudget { tree, watts } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"set_tree_budget\",\"tree\":{tree},\"watts\":{}}}",
+                watts.as_f64()
+            );
+        }
+        Op::SetRootBudgets(budgets) => {
+            out.push_str("{\"type\":\"set_root_budgets\",\"watts\":[");
+            for (i, w) in budgets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", w.as_f64());
+            }
+            out.push_str("]}");
+        }
+        Op::SetGroupPriority {
+            tree,
+            node,
+            priority,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"set_group_priority\",\"tree\":{tree},\"node\":{node},\"priority\":{}}}",
+                priority.0
+            );
+        }
+        Op::ClearGroupPriority { tree, node } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"clear_group_priority\",\"tree\":{tree},\"node\":{node}}}"
+            );
+        }
+        Op::SetServerEnabled { server, enabled } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"set_server_enabled\",\"server\":{},\"enabled\":{enabled}}}",
+                server.0
+            );
+        }
+        Op::SetAllocator(kind) => {
+            let _ = write!(out, "{{\"type\":\"set_allocator\",\"policy\":\"{}\"}}", kind.name());
+        }
+    }
+    out.push('}');
+}
+
+/// Append `s` as a JSON string literal with the mandatory escapes.
+fn escape_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use capmaestro_core::obs::{names, PhaseTimer};
+use capmaestro_core::oplog::ReconcilePlan;
 use capmaestro_core::par::par_map;
 use capmaestro_core::plane::{ControlPlane, Farm, RoundReport, SenseBuffer};
 use capmaestro_server::{SenseInterposer, SensorSnapshot, ServerRef};
@@ -593,6 +594,52 @@ impl Engine {
     pub fn stage_root_budgets(&mut self, budgets: Vec<Watts>) -> &mut Self {
         self.staged_budgets = Some(budgets);
         self
+    }
+
+    /// Powers one server on or off outside the feed-failure machinery —
+    /// the operator drain/undrain seam. Value-compared, so repeating the
+    /// same state is free under event-driven stepping. Returns `false`
+    /// for servers the farm does not hold.
+    pub fn set_server_powered(&mut self, server: ServerId, powered: bool) -> bool {
+        match self.farm.get_mut(server) {
+            Some(mut srv) => {
+                srv.set_powered(powered);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Applies a reconciliation plan from the operator event log:
+    /// budgets are *staged* (they land inside the next [`Engine::step`]
+    /// at the round boundary, exactly like `POST /budget` always has),
+    /// while priorities, drains, and allocator switches apply to the
+    /// plane immediately so the same round allocates with them. Returns
+    /// the number of actions taken. An empty plan does nothing at all —
+    /// the bit-identity guarantee the reconciler rests on.
+    pub fn apply_reconcile_plan(&mut self, plan: &ReconcilePlan) -> usize {
+        let mut applied = 0;
+        if let Some(budgets) = &plan.root_budgets {
+            self.stage_root_budgets(budgets.clone());
+            applied += 1;
+        }
+        for &(server, priority) in &plan.priorities {
+            match priority {
+                Some(p) => self.plane.set_priority(server, p),
+                None => self.plane.clear_priority(server),
+            }
+            applied += 1;
+        }
+        for &(server, powered) in &plan.power {
+            if self.set_server_powered(server, powered) {
+                applied += 1;
+            }
+        }
+        if let Some(kind) = plan.allocator {
+            self.plane.set_allocator(kind);
+            applied += 1;
+        }
+        applied
     }
 
     /// Drops everything recorded so far and resets the trace to empty

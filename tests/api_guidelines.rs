@@ -60,6 +60,20 @@ fn serve_types_are_send_and_sync() {
     assert_send_sync::<std::sync::Arc<dyn serve::Handler>>();
     assert_send_sync::<serve::daemon::DaemonConfig>();
     assert_send_sync::<serve::client::HttpResponse>();
+    assert_send_sync::<serve::ApiError>();
+    assert_send_sync::<serve::OpRejection>();
+}
+
+#[test]
+fn oplog_types_are_send_and_sync() {
+    use capmaestro::core::oplog;
+    assert_send_sync::<oplog::OpLog>();
+    assert_send_sync::<oplog::Envelope>();
+    assert_send_sync::<oplog::Op>();
+    assert_send_sync::<oplog::DesiredState>();
+    assert_send_sync::<oplog::AppendOutcome>();
+    assert_send_sync::<oplog::RecoveryReport>();
+    assert_send_sync::<oplog::ReconcilePlan>();
 }
 
 #[test]
@@ -69,6 +83,9 @@ fn error_types_are_well_behaved() {
     assert_error::<capmaestro::core::obs::ParseError>();
     assert_error::<capmaestro::serve::HttpError>();
     assert_error::<capmaestro::serve::BudgetError>();
+    assert_error::<capmaestro::serve::ApiError>();
+    assert_error::<capmaestro::serve::OpRejection>();
+    assert_error::<capmaestro::core::oplog::OplogError>();
 }
 
 #[test]
@@ -141,6 +158,16 @@ fn display_messages_are_lowercase_without_trailing_punctuation() {
     assert!(!msg.ends_with('.'));
 
     let err = capmaestro::serve::BudgetError::NotFinite;
+    let msg = err.to_string();
+    assert!(msg.chars().next().unwrap().is_lowercase());
+    assert!(!msg.ends_with('.'));
+
+    let err = capmaestro::serve::OpRejection::UnknownTree { tree: 9, trees: 1 };
+    let msg = err.to_string();
+    assert!(msg.chars().next().unwrap().is_lowercase());
+    assert!(!msg.ends_with('.'));
+
+    let err = capmaestro::core::oplog::OplogError::KeyTooLong { len: 500 };
     let msg = err.to_string();
     assert!(msg.chars().next().unwrap().is_lowercase());
     assert!(!msg.ends_with('.'));
