@@ -12,6 +12,10 @@ cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings \
     -D clippy::large_stack_arrays -D clippy::needless_collect
 
+# Trace-export lane: the exporter's unit tests plus the property layer
+# (round-trip, ring eviction, parser totality) run as part of tier 1.
+cargo test -q -p capmaestro-core trace
+
 # Deterministic chaos smoke: seeded telemetry faults against both rigs,
 # invariant-checked every simulated second; exits non-zero on violation.
 cargo run --release -q -p capmaestro-bench --bin chaos -- \
@@ -49,10 +53,11 @@ cargo run --release -q --example observability -- --check
 # instead of hanging it.
 cargo build --release -q -p capmaestro-serve --bin capmaestrod
 DAEMON_LOG=$(mktemp); DAEMON_FIFO=$(mktemp -u); DAEMON_OPLOG=$(mktemp -u)
+DAEMON_TRACE=$(mktemp -u)
 mkfifo "$DAEMON_FIFO"
 timeout 120s ./target/release/capmaestrod \
     --addr 127.0.0.1:0 --accel 0 --quit-on-stdin --wall-limit-s 90 \
-    --oplog "$DAEMON_OPLOG" \
+    --oplog "$DAEMON_OPLOG" --trace "$DAEMON_TRACE" \
     <"$DAEMON_FIFO" >"$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!
 exec 9>"$DAEMON_FIFO"   # open the write end so the daemon's stdin stays live
@@ -101,12 +106,25 @@ HEAD_AFTER=$(curl -fsS --max-time 10 "http://$DAEMON_ADDR/v1/events" \
     || { echo "ci: idempotent retry appended an event ($HEAD_BEFORE -> $HEAD_AFTER)" >&2; exit 1; }
 echo "ci: versioned-api smoke ok"
 
+# Trace smoke: pull the live Perfetto document off /v1/trace and run it
+# through the strict validator (trace_check --check fails unless the
+# document parses, shows slices for all six round phases, and carries at
+# least four counter tracks).
+TRACE_DOWNLOAD=$(mktemp)
+curl -fsS --max-time 10 "http://$DAEMON_ADDR/v1/trace" > "$TRACE_DOWNLOAD"
+curl -fsS --max-time 10 "http://$DAEMON_ADDR/v1/trace?last_s=30" > /dev/null
+cargo run --release -q --example trace_check -- --check "$TRACE_DOWNLOAD"
+echo "ci: trace smoke ok"
+
 echo quit >&9
 exec 9>&-
 wait "$DAEMON_PID"
 [[ -s "$DAEMON_OPLOG" ]] \
     || { echo "ci: --oplog never persisted any events" >&2; exit 1; }
-rm -f "$DAEMON_FIFO" "$DAEMON_LOG" "$DAEMON_OPLOG"
+[[ -s "$DAEMON_TRACE" ]] \
+    || { echo "ci: --trace never persisted a trace document" >&2; exit 1; }
+cargo run --release -q --example trace_check -- --check "$DAEMON_TRACE"
+rm -f "$DAEMON_FIFO" "$DAEMON_LOG" "$DAEMON_OPLOG" "$DAEMON_TRACE" "$TRACE_DOWNLOAD"
 echo "ci: serving-mode smoke ok"
 
 # Partition-soak smoke: a room controller in-process against 4 real

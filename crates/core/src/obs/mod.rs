@@ -29,6 +29,7 @@
 pub mod json;
 pub mod prometheus;
 mod registry;
+pub mod trace;
 
 use std::error::Error;
 use std::fmt;
@@ -61,6 +62,31 @@ pub trait Recorder: fmt::Debug + Send + Sync {
 
     /// Record one observation of `value` into the histogram `name`.
     fn observe(&self, name: &'static str, value: f64);
+
+    /// Whether timeline (trace) events are being kept. Emission sites
+    /// use this — not [`Recorder::enabled`] — to gate the per-tree walk
+    /// that produces counter tracks, so a metrics-only recorder pays
+    /// nothing for the trace seam. Defaults to `false`; only
+    /// [`trace::TraceRecorder`] overrides it.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Publish the current logical time in microseconds; subsequent
+    /// trace events are stamped with it. The sim engine calls this once
+    /// per simulated second so traces are deterministic. No-op by
+    /// default.
+    fn trace_set_time_us(&self, _now_us: u64) {}
+
+    /// Sample counter track `track` for control tree `tree` (e.g. root
+    /// budget, allocated budget, measured power). No-op by default.
+    fn trace_tree_counter(&self, _tree: u32, _track: &'static str, _value: f64) {}
+
+    /// Name control tree `tree`'s timeline process (`thread: None`) or
+    /// one of its rack lanes (`thread: Some(tid)`). Implementations
+    /// deduplicate, so emitters may re-announce every round. No-op by
+    /// default.
+    fn trace_tree_meta(&self, _tree: u32, _thread: Option<u32>, _name: &str) {}
 }
 
 /// The default recorder: keeps nothing, costs nothing.

@@ -1676,6 +1676,47 @@ impl ControlPlane {
             recorder.counter_add(names::FAILSAFE_CAPS_TOTAL, failsafe_caps);
         }
 
+        // 4. Trace: per-tree counter tracks (root budget, allocated
+        //    budget, measured power) plus tree/rack naming, gated behind
+        //    `trace_enabled()` so metrics-only and null recorders never
+        //    pay for the tree walk. Iteration order is fixed (trees in
+        //    index order, leaves in slot order), keeping traces of
+        //    deterministic runs deterministic.
+        if recorder.trace_enabled() {
+            for (i, tree) in trees.iter().enumerate() {
+                let tree_id = i as u32;
+                let spec = tree.spec();
+                let root = spec.node(0);
+                recorder.trace_tree_meta(tree_id, None, &format!("{spec}"));
+                for (lane, &child) in root.children.iter().enumerate() {
+                    recorder.trace_tree_meta(
+                        tree_id,
+                        Some(lane as u32 + 1),
+                        &spec.node(child).name,
+                    );
+                }
+                recorder.trace_tree_counter(
+                    tree_id,
+                    crate::obs::trace::ROOT_BUDGET_W,
+                    root_budgets[i].as_f64(),
+                );
+                recorder.trace_tree_counter(
+                    tree_id,
+                    crate::obs::trace::BUDGET_ALLOC_W,
+                    allocations[i].total_leaf_budget().as_f64(),
+                );
+                let leaves = tree.arena().leaf_index();
+                let mut measured = 0.0f64;
+                for slot in 0..leaves.len() {
+                    let (id, supply) = leaves.pair(slot);
+                    if let Some(snap) = telemetry.get(&id) {
+                        measured += snap.supply_ac[supply.index()].as_f64();
+                    }
+                }
+                recorder.trace_tree_counter(tree_id, crate::obs::trace::POWER_W, measured);
+            }
+        }
+
         *valid = true;
         &self.ctx.report
     }

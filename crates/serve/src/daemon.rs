@@ -17,7 +17,8 @@ use std::io::BufRead;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use capmaestro_core::obs::{json, prometheus, MetricsRegistry};
+use capmaestro_core::obs::trace::TraceRecorder;
+use capmaestro_core::obs::{json, prometheus, MetricsRegistry, Recorder};
 use capmaestro_core::oplog::OpLog;
 use capmaestro_core::workers::leaf_statics;
 use capmaestro_core::{AllocatorKind, DeploymentConfig, PolicyKind, WorkerDeployment};
@@ -66,6 +67,10 @@ pub struct DaemonConfig {
     /// is replayed so the declared state survives restarts. `None` keeps
     /// the log in memory only.
     pub oplog: Option<std::path::PathBuf>,
+    /// Write the Perfetto JSON trace to this file at run boundaries
+    /// (every [`TRACE_RESET_PERIOD`] steps and on shutdown). `None`
+    /// keeps traces reachable via `GET /v1/trace` only.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -83,6 +88,7 @@ impl Default for DaemonConfig {
             agent_addr: "127.0.0.1:0".to_string(),
             rig: None,
             oplog: None,
+            trace: None,
         }
     }
 }
@@ -103,7 +109,7 @@ capmaestrod — CapMaestro serving daemon
 USAGE:
     capmaestrod [--addr HOST:PORT | --port PORT] [--seconds N] [--accel F]
                 [--workers N] [--no-spo] [--policy NAME] [--quit-on-stdin]
-                [--wall-limit-s N] [--oplog PATH]
+                [--wall-limit-s N] [--oplog PATH] [--trace PATH]
     capmaestrod --agents N [--agent-addr HOST:PORT] [--rig SPEC] [...]
     capmaestrod --probe HOST:PORT
 
@@ -120,6 +126,8 @@ OPTIONS:
     --wall-limit-s N   hard wall-clock stop after N seconds
     --oplog PATH       persist the operator event log to PATH (replayed on
                        startup, so declared state survives restarts)
+    --trace PATH       write the Perfetto JSON trace to PATH at run
+                       boundaries and on shutdown (engine mode only)
     --agents N         room-controller mode: run the control plane over N
                        out-of-process capmaestro-agent rack workers
     --agent-addr ADDR  agent listener bind address (room mode; default
@@ -136,6 +144,7 @@ ENDPOINTS (see also the deprecated unversioned aliases):
     GET   /v1/healthz               liveness + oplog head / applied seq
     GET   /v1/report                JSON snapshot of the latest round
     GET   /v1/events?since=SEQ      operator events after SEQ
+    GET   /v1/trace?last_s=N        Perfetto JSON trace (trailing N s)
     POST  /v1/budget                declare all root budgets, e.g. [1240]
     PUT   /v1/trees/{id}/budget     declare one tree's root budget
     PATCH /v1/groups/{t}.{n}/priority  declare/clear a group priority band
@@ -203,6 +212,7 @@ pub fn parse_args(args: &[String]) -> Result<DaemonCommand, String> {
             }
             "--agent-addr" => config.agent_addr = value_for("--agent-addr")?,
             "--oplog" => config.oplog = Some(value_for("--oplog")?.into()),
+            "--trace" => config.trace = Some(value_for("--trace")?.into()),
             "--rig" => config.rig = Some(RigSpec::parse(&value_for("--rig")?)?),
             "--probe" => return Ok(DaemonCommand::Probe(value_for("--probe")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -254,8 +264,14 @@ pub fn run(config: &DaemonConfig) -> Result<u64, String> {
             .with_allocator(config.allocator),
     );
     let registry = Arc::new(MetricsRegistry::new());
+    // Engine mode always keeps the timeline: the ring is bounded, and
+    // the trace recorder forwards every metric call to the registry so
+    // /v1/metrics sees exactly what it always did.
+    let trace = Arc::new(
+        TraceRecorder::new().with_forward(registry.clone() as Arc<dyn Recorder>),
+    );
     let mut engine = Engine::new(rig);
-    engine.plane_mut().set_recorder(registry.clone());
+    engine.plane_mut().set_recorder(trace.clone());
 
     let mut state = ServeState::new(registry.clone(), engine.control_period_s())
         .with_policy_label(config.allocator.name());
@@ -278,7 +294,7 @@ pub fn run(config: &DaemonConfig) -> Result<u64, String> {
         state = state.with_oplog(log);
     }
     let state = Arc::new(state);
-    let router = Router::new(state.clone(), registry.clone());
+    let router = Router::new(state.clone(), registry.clone()).with_trace(trace.clone());
     let http_config = HttpConfig::default()
         .with_addr(config.addr.clone())
         .with_workers(config.workers)
@@ -316,6 +332,7 @@ pub fn run(config: &DaemonConfig) -> Result<u64, String> {
         steps += 1;
         if steps.is_multiple_of(TRACE_RESET_PERIOD) {
             engine.reset_trace();
+            write_trace_file(config.trace.as_deref(), &trace);
         }
         if let Some(step_wall) = step_wall {
             pace(step_wall, &shutdown);
@@ -326,6 +343,7 @@ pub fn run(config: &DaemonConfig) -> Result<u64, String> {
     // only then is the engine (still borrowed by nobody, but the state
     // the handlers read) allowed to go away.
     server.shutdown();
+    write_trace_file(config.trace.as_deref(), &trace);
     drop(engine);
     Ok(steps)
 }
@@ -447,6 +465,19 @@ fn run_room(config: &DaemonConfig) -> Result<u64, String> {
     server.shutdown();
     deployment.shutdown();
     Ok(rounds)
+}
+
+/// Write the full retained timeline to `path` (when `--trace` was
+/// given), replacing any previous boundary's file. Failures are
+/// reported but never take the daemon down: tracing is best-effort
+/// observability, not the control loop.
+fn write_trace_file(path: Option<&std::path::Path>, trace: &TraceRecorder) {
+    let Some(path) = path else {
+        return;
+    };
+    if let Err(e) = std::fs::write(path, trace.render(None)) {
+        eprintln!("capmaestrod: write trace {}: {e}", path.display());
+    }
 }
 
 /// Sleep `total` in small chunks, returning early on shutdown.

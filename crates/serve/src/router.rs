@@ -8,6 +8,7 @@
 //! | `/v1/healthz`                     | GET    | JSON liveness (200 ok / 503 unhealthy)   |
 //! | `/v1/report`                      | GET    | JSON snapshot of the latest round        |
 //! | `/v1/events?since=SEQ`            | GET    | operator events with `seq > SEQ`         |
+//! | `/v1/trace?last_s=N`              | GET    | Perfetto JSON trace (optionally trailing N s) |
 //! | `/v1/budget`                      | POST   | JSON array of per-tree root watts        |
 //! | `/v1/trees/{id}/budget`           | PUT    | `{"watts": W}` or a bare number          |
 //! | `/v1/groups/{tree}.{node}/priority` | PATCH | `{"priority": P}` or `{"priority": null}` |
@@ -21,7 +22,8 @@
 //!
 //! The unversioned paths (`/metrics`, `/healthz`, `/report`, `/budget`)
 //! remain as aliases answering with a `Deprecation: true` header. Known
-//! paths with the wrong method answer `405`; unknown paths `404`. Every
+//! paths with the wrong method answer `405` with an `Allow` header
+//! naming the accepted method; unknown paths `404`. Every
 //! error body is the one JSON envelope
 //! `{"error":{"code":...,"message":...}}` ([`ApiError`]), and every 4xx
 //! bumps `capmaestro_serve_client_errors_total`.
@@ -30,6 +32,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
+use capmaestro_core::obs::trace::TraceRecorder;
 use capmaestro_core::obs::{json, names, prometheus, Recorder};
 use capmaestro_core::AllocatorKind;
 use capmaestro_topology::ServerId;
@@ -156,12 +159,25 @@ pub struct Router {
     state: Arc<ServeState>,
     /// Metrics sink for request/error counters.
     recorder: Arc<dyn Recorder>,
+    /// Timeline exporter behind `GET /v1/trace`; `None` answers 503
+    /// (tracing not enabled in this deployment).
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Router {
     /// A router over `state`, counting into `recorder`.
     pub fn new(state: Arc<ServeState>, recorder: Arc<dyn Recorder>) -> Self {
-        Router { state, recorder }
+        Router {
+            state,
+            recorder,
+            trace: None,
+        }
+    }
+
+    /// Serve `GET /v1/trace` from this trace recorder (builder style).
+    pub fn with_trace(mut self, trace: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// The shared state this router serves.
@@ -213,6 +229,39 @@ impl Router {
             },
         };
         Response::new(200, json::CONTENT_TYPE, self.state.events_json(since))
+    }
+
+    /// `GET /v1/trace?last_s=N`: the retained timeline as a Perfetto
+    /// JSON trace document, optionally cut to the trailing `N` simulated
+    /// seconds. Non-destructive, so repeated downloads are idempotent.
+    fn trace(&self, request: &Request) -> Response {
+        let Some(trace) = &self.trace else {
+            return self.error(ApiError::unavailable(
+                "trace export is not enabled in this deployment",
+            ));
+        };
+        let last_s = match request.query_param("last_s") {
+            None => None,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    return self.error(ApiError::bad_request(
+                        "last_s must be a non-negative integer number of seconds",
+                    ))
+                }
+            },
+        };
+        Response::new(
+            200,
+            capmaestro_core::obs::trace::CONTENT_TYPE,
+            trace.render(last_s),
+        )
+    }
+
+    /// A `405` carrying the `Allow` header RFC 9110 requires.
+    fn method_not_allowed(&self, allow: &'static str) -> Response {
+        self.error(ApiError::method_not_allowed())
+            .with_header("Allow", allow)
     }
 
     /// A successful mutation: the event's sequence number and whether it
@@ -341,7 +390,7 @@ impl Router {
         if let Some(rest) = path.strip_prefix("/v1/trees/") {
             if let Some(tree) = rest.strip_suffix("/budget") {
                 if request.method != "PUT" {
-                    return self.error(ApiError::method_not_allowed());
+                    return self.method_not_allowed("PUT");
                 }
                 return self.tree_budget(request, tree);
             }
@@ -349,7 +398,7 @@ impl Router {
         if let Some(rest) = path.strip_prefix("/v1/groups/") {
             if let Some(group) = rest.strip_suffix("/priority") {
                 if request.method != "PATCH" {
-                    return self.error(ApiError::method_not_allowed());
+                    return self.method_not_allowed("PATCH");
                 }
                 return self.group_priority(request, group);
             }
@@ -361,7 +410,7 @@ impl Router {
                 .or_else(|| rest.strip_suffix(":undrain").map(|server| (server, true)));
             if let Some((server, enabled)) = action {
                 if request.method != "POST" {
-                    return self.error(ApiError::method_not_allowed());
+                    return self.method_not_allowed("POST");
                 }
                 return self.server_enabled(request, server, enabled);
             }
@@ -388,6 +437,7 @@ impl Handler for Router {
             ("GET", "/v1/healthz") => self.healthz(),
             ("GET", "/v1/report") => self.report(),
             ("GET", "/v1/events") => self.events(request),
+            ("GET", "/v1/trace") => self.trace(request),
             ("POST", "/v1/budget") => self.budget(request),
             ("PUT", "/v1/allocator") => self.allocator(request),
             // Legacy aliases: same behavior, plus a deprecation marker.
@@ -395,11 +445,14 @@ impl Handler for Router {
             ("GET", "/healthz") => self.healthz().with_header("Deprecation", "true"),
             ("GET", "/report") => self.report().with_header("Deprecation", "true"),
             ("POST", "/budget") => self.budget(request).with_header("Deprecation", "true"),
+            // Known paths, wrong method: 405 + the accepted method.
             (
                 _,
-                "/v1/metrics" | "/v1/healthz" | "/v1/report" | "/v1/events" | "/v1/budget"
-                | "/v1/allocator" | "/metrics" | "/healthz" | "/report" | "/budget",
-            ) => self.error(ApiError::method_not_allowed()),
+                "/v1/metrics" | "/v1/healthz" | "/v1/report" | "/v1/events" | "/v1/trace"
+                | "/metrics" | "/healthz" | "/report",
+            ) => self.method_not_allowed("GET"),
+            (_, "/v1/budget" | "/budget") => self.method_not_allowed("POST"),
+            (_, "/v1/allocator") => self.method_not_allowed("PUT"),
             _ if path.starts_with("/v1/") => self.route_v1_dynamic(request, path),
             _ => self.error(ApiError::not_found("no such endpoint")),
         }

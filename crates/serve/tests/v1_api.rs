@@ -5,7 +5,8 @@
 
 use std::sync::Arc;
 
-use capmaestro_core::obs::{prometheus, MetricsRegistry};
+use capmaestro_core::obs::trace::{self, TraceRecorder};
+use capmaestro_core::obs::{prometheus, MetricsRegistry, Recorder};
 use capmaestro_serve::client;
 use capmaestro_serve::daemon::drive_second;
 use capmaestro_serve::{HttpConfig, HttpServer, Router, ServeState};
@@ -33,12 +34,17 @@ impl Stack {
 
     fn new(mut engine: Engine) -> Stack {
         let registry = Arc::new(MetricsRegistry::new());
-        engine.plane_mut().set_recorder(registry.clone());
+        // As the daemon wires it: the trace recorder buffers the
+        // timeline and forwards every metric call to the registry.
+        let tracer = Arc::new(
+            TraceRecorder::new().with_forward(registry.clone() as Arc<dyn Recorder>),
+        );
+        engine.plane_mut().set_recorder(tracer.clone());
         let state = Arc::new(ServeState::new(
             registry.clone(),
             engine.control_period_s(),
         ));
-        let router = Router::new(state.clone(), registry.clone());
+        let router = Router::new(state.clone(), registry.clone()).with_trace(tracer);
         let server = HttpServer::bind(HttpConfig::default(), Arc::new(router))
             .expect("bind ephemeral port");
         Stack {
@@ -421,6 +427,146 @@ fn every_failure_answers_the_one_json_error_envelope() {
     assert!(
         raw.body_str().expect("utf-8").starts_with("{\"error\":{"),
         "parser errors share the envelope"
+    );
+}
+
+#[test]
+fn wrong_methods_answer_405_with_allow_and_unknown_paths_404_in_the_envelope() {
+    let mut stack = Stack::stranded();
+    stack.drive(1);
+    let addr = stack.addr();
+
+    // GET on mutating-only routes: 405, the envelope, and an Allow
+    // header naming the one accepted method (RFC 9110 §15.5.6).
+    let cases: Vec<(&str, &str, client::HttpResponse)> = vec![
+        (
+            "/v1/allocator",
+            "PUT",
+            client::get(&addr, "/v1/allocator").expect("get on put-only"),
+        ),
+        (
+            "/v1/budget",
+            "POST",
+            client::get(&addr, "/v1/budget").expect("get on post-only"),
+        ),
+        (
+            "/v1/trees/0/budget",
+            "PUT",
+            client::get(&addr, "/v1/trees/0/budget").expect("get on put-only dynamic"),
+        ),
+        (
+            "/v1/groups/0.1/priority",
+            "PATCH",
+            client::get(&addr, "/v1/groups/0.1/priority").expect("get on patch-only"),
+        ),
+        (
+            "/v1/servers/1:drain",
+            "POST",
+            client::get(&addr, "/v1/servers/1:drain").expect("get on post-only action"),
+        ),
+        (
+            "/v1/trace",
+            "GET",
+            client::post(&addr, "/v1/trace", b"").expect("post on get-only"),
+        ),
+    ];
+    for (path, allow, response) in cases {
+        assert_eq!(response.status, 405, "{path}");
+        assert_eq!(
+            response.header("allow"),
+            Some(allow),
+            "{path} must name the accepted method"
+        );
+        let body = response.body_str().expect("utf-8");
+        assert!(
+            body.starts_with("{\"error\":{\"code\":\"method_not_allowed\""),
+            "{path}: body {body}"
+        );
+    }
+
+    // Unknown /v1 paths — including near-misses of real dynamic routes —
+    // are 404s in the same envelope.
+    for path in [
+        "/v1/nope",
+        "/v1/trees/0/banana",
+        "/v1/servers/1:reboot",
+        "/v1/trace/extra",
+    ] {
+        let response = client::get(&addr, path).expect("unknown path");
+        assert_eq!(response.status, 404, "{path}");
+        let body = response.body_str().expect("utf-8");
+        assert!(
+            body.starts_with("{\"error\":{\"code\":\"not_found\""),
+            "{path}: body {body}"
+        );
+    }
+}
+
+#[test]
+fn trace_endpoint_serves_validating_documents_and_rejects_bad_last_s() {
+    let mut stack = Stack::priority();
+    stack.drive(17); // rounds at t = 0, 8, 16
+    let addr = stack.addr();
+
+    // A full download parses under the strict validator and carries the
+    // per-tree counter tracks the plane emits every round.
+    let full = client::get(&addr, "/v1/trace").expect("trace");
+    assert_eq!(full.status, 200);
+    assert_eq!(full.header("content-type"), Some(trace::CONTENT_TYPE));
+    let parsed = trace::parse(full.body_str().expect("utf-8")).expect("trace validates");
+    assert!(
+        parsed.counter_tracks().len() >= 4,
+        "tracks: {:?}",
+        parsed.counter_tracks()
+    );
+
+    // last_s narrows the window by logical time; downloads are
+    // idempotent (non-destructive), so the full view is still intact.
+    let tail = client::get(&addr, "/v1/trace?last_s=4").expect("tail trace");
+    assert_eq!(tail.status, 200);
+    let tail_parsed = trace::parse(tail.body_str().expect("utf-8")).expect("tail validates");
+    assert!(
+        tail_parsed.events.len() < parsed.events.len(),
+        "a 4 s cut of a 17 s run must drop events"
+    );
+    let again = client::get(&addr, "/v1/trace").expect("trace again");
+    let again_parsed =
+        trace::parse(again.body_str().expect("utf-8")).expect("second download validates");
+    assert_eq!(
+        again_parsed.events.len(),
+        parsed.events.len(),
+        "downloads must not drain the buffer"
+    );
+
+    // Bad last_s values: negative, non-numeric, u64 overflow — all 400s
+    // in the shared envelope.
+    for query in ["-5", "abc", "99999999999999999999999", "4.5", ""] {
+        let bad = client::get(&addr, &format!("/v1/trace?last_s={query}"))
+            .expect("bad last_s");
+        assert_eq!(bad.status, 400, "last_s={query:?}");
+        let body = bad.body_str().expect("utf-8");
+        assert!(
+            body.starts_with("{\"error\":{\"code\":\"bad_request\""),
+            "last_s={query:?}: body {body}"
+        );
+    }
+
+    // A router with no trace recorder attached answers 503, not 404:
+    // the endpoint exists, tracing just isn't enabled (room mode).
+    let registry = stack.state.registry().clone();
+    let bare_state = Arc::new(ServeState::new(registry.clone(), 8));
+    let bare = HttpServer::bind(
+        HttpConfig::default(),
+        Arc::new(Router::new(bare_state, registry)),
+    )
+    .expect("bind bare server");
+    let off = client::get(&bare.local_addr().to_string(), "/v1/trace").expect("traceless");
+    assert_eq!(off.status, 503);
+    assert!(
+        off.body_str()
+            .expect("utf-8")
+            .starts_with("{\"error\":{\"code\":\"unavailable\""),
+        "disabled tracing wears the envelope"
     );
 }
 

@@ -881,6 +881,9 @@ impl Engine {
     /// recording.
     fn step_second(&mut self) {
         let recorder = Arc::clone(self.plane.recorder());
+        // Publish the logical clock so trace events carry simulated (not
+        // wall) time; a no-op on every recorder except the trace one.
+        recorder.trace_set_time_us(self.time_s.saturating_mul(1_000_000));
         recorder.counter_add(names::SIM_STEPS_TOTAL, 1);
         let _step_timer = PhaseTimer::start(&*recorder, names::SIM_STEP_SECONDS);
         {

@@ -1,0 +1,79 @@
+//! Golden-file test for the Perfetto trace exporter: a seeded 10-round
+//! Fig. 2 rig run must produce, after stripping wall-clock fields
+//! (`trace::normalize` zeroes slice durations), exactly the checked-in
+//! trace — byte for byte. Timestamps are the engine's logical clock and
+//! event order is fixed, so any drift here is a real change to the
+//! exporter or the round pipeline, not noise.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p capmaestro-sim --test trace_golden
+//! ```
+
+use std::sync::Arc;
+
+use capmaestro_core::obs::trace::{self, TraceRecorder};
+use capmaestro_core::obs::RoundPhase;
+use capmaestro_sim::engine::Engine;
+use capmaestro_sim::scenarios::{priority_rig, RigConfig};
+
+/// 10 control rounds at the paper's 8 s period.
+const SECONDS: u64 = 80;
+
+/// The checked-in canonical trace.
+const GOLDEN: &str = include_str!("golden/trace_fig2.json");
+
+fn traced_run() -> String {
+    let rig = priority_rig(RigConfig::table2().with_spo(true));
+    let recorder = Arc::new(TraceRecorder::new());
+    let mut engine = Engine::new(rig);
+    engine.plane_mut().set_recorder(recorder.clone());
+    engine.run(SECONDS);
+    trace::normalize(&recorder.render(None)).expect("generated trace validates")
+}
+
+#[test]
+fn fig2_trace_matches_golden_byte_for_byte() {
+    let normalized = traced_run();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/trace_fig2.json"
+        );
+        std::fs::write(path, &normalized).expect("write golden");
+        panic!("golden regenerated at {path}; re-run without UPDATE_GOLDEN");
+    }
+    assert_eq!(
+        normalized, GOLDEN,
+        "normalized trace diverged from the checked-in golden \
+         (UPDATE_GOLDEN=1 regenerates after intentional changes)"
+    );
+}
+
+#[test]
+fn golden_validates_under_the_strict_parser() {
+    let parsed = trace::parse(GOLDEN).expect("golden trace validates");
+    for phase in RoundPhase::ALL {
+        assert!(
+            parsed.slice_count(phase.label()) > 0,
+            "golden has no {} slices",
+            phase.label()
+        );
+    }
+    assert!(
+        parsed.counter_tracks().len() >= 4,
+        "golden has fewer than 4 counter tracks: {:?}",
+        parsed.counter_tracks()
+    );
+    assert_eq!(parsed.dropped, 0, "golden run must not overflow the ring");
+}
+
+#[test]
+fn two_runs_normalize_identically() {
+    assert_eq!(
+        traced_run(),
+        traced_run(),
+        "the normalized trace of a seeded run must be deterministic"
+    );
+}
